@@ -1,0 +1,54 @@
+"""Shared infrastructure for the figure/table reproduction benchmarks.
+
+Every benchmark prints the rows/series of its paper counterpart (so the
+reproduction can be eyeballed against the PDF) and asserts the *shape*
+claims — who wins, in which direction, roughly by how much.  Absolute
+numbers come from the simulated GTX 1080, not the authors' testbed.
+"""
+
+import numpy as np
+import pytest
+
+
+def print_table(title, rows, columns):
+    """Render a list of dicts as an aligned text table."""
+    print(f"\n=== {title} ===")
+    widths = {c: max(len(c), *(len(_fmt(r[c])) for r in rows))
+              for c in columns}
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print("  ".join(_fmt(r[c]).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Dataset scale used across benchmarks (keeps epochs tractable)."""
+    return 0.02
+
+
+_PROFILE_CACHE = {}
+
+# Scale giving each dataset enough training graphs for the largest batch.
+PROFILE_SCALES = {"ZINC": 0.03, "AQSOL": 0.04, "CSL": 3.0, "CYCLES": 0.03}
+
+
+def cached_profile(dataset, model, method, batch_size=64, hidden_dim=128,
+                   num_layers=4):
+    """Memoised kernel profile for one configuration."""
+    from repro.profiling import profile_configuration
+
+    key = (dataset, model, method, batch_size, hidden_dim, num_layers)
+    if key not in _PROFILE_CACHE:
+        _PROFILE_CACHE[key] = profile_configuration(
+            dataset, model, method, batch_size=batch_size,
+            hidden_dim=hidden_dim, num_layers=num_layers,
+            scale=PROFILE_SCALES[dataset])
+    return _PROFILE_CACHE[key]

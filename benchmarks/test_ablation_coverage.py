@@ -1,0 +1,53 @@
+"""Ablation — edge-coverage target θ.
+
+θ < 1 lets the scheduler stop before covering every edge: shorter paths
+and fewer messages, at the cost of dropping attention edges (WL
+similarity decays).  This quantifies the accuracy/efficiency dial the
+paper's Section III-B introduces.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import MegaConfig, PathRepresentation
+from repro.core.isomorphism import path_similarity_profile
+from repro.graph.generators import erdos_renyi
+
+THETAS = (0.5, 0.7, 0.9, 1.0)
+
+
+def compute():
+    g = erdos_renyi(np.random.default_rng(13), 100, 0.08)
+    rows = []
+    for theta in THETAS:
+        rep = PathRepresentation.from_graph(
+            g, MegaConfig(window=2, coverage=theta))
+        sims = path_similarity_profile(g, rep, hops=2,
+                                       include_virtual=False)
+        rows.append({
+            "theta": theta,
+            "coverage": rep.coverage,
+            "path length": rep.length,
+            "messages": 2 * rep.band.num_edges,
+            "wl sim (1 hop)": sims[1],
+            "wl sim (2 hop)": sims[2],
+        })
+    return rows
+
+
+def test_ablation_coverage(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Ablation: coverage target θ", rows,
+                ["theta", "coverage", "path length", "messages",
+                 "wl sim (1 hop)", "wl sim (2 hop)"])
+    for row in rows:
+        assert row["coverage"] >= row["theta"] - 1e-9
+    # Monotone trade-off: higher θ → more messages, better similarity.
+    messages = [r["messages"] for r in rows]
+    sims = [r["wl sim (1 hop)"] for r in rows]
+    assert messages == sorted(messages)
+    assert sims == sorted(sims)
+    # Full coverage restores exactness.
+    assert rows[-1]["wl sim (1 hop)"] == 1.0
+    assert rows[-1]["wl sim (2 hop)"] == 1.0

@@ -1,0 +1,48 @@
+"""Ablation — CPU preprocessing cost of Algorithm 1.
+
+The paper decouples preprocessing (CPU) from training (GPU).  This bench
+measures real wall time of the traversal as graphs grow and checks the
+cost scales near-linearly in n + m — i.e., preprocessing stays a
+one-time, amortisable cost.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import MegaConfig, PathRepresentation
+from repro.graph.generators import erdos_renyi
+
+SIZES = (50, 100, 200, 400)
+
+
+def compute():
+    rows = []
+    for n in SIZES:
+        g = erdos_renyi(np.random.default_rng(n), n, 4.0 / n)
+        start = time.perf_counter()
+        rep = PathRepresentation.from_graph(g, MegaConfig())
+        elapsed = time.perf_counter() - start
+        rows.append({
+            "nodes": n,
+            "edges": g.num_edges,
+            "wall ms": elapsed * 1e3,
+            "ms per (n+m)": elapsed * 1e3 / (n + g.num_edges),
+            "expansion": rep.expansion,
+        })
+    return rows
+
+
+def test_ablation_preprocessing(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Ablation: Algorithm 1 preprocessing cost", rows,
+                ["nodes", "edges", "wall ms", "ms per (n+m)", "expansion"])
+    # Near-linear scaling: per-unit cost grows by at most ~8x across a
+    # 8x size range (quadratic behaviour would blow well past this).
+    per_unit = [r["ms per (n+m)"] for r in rows]
+    assert per_unit[-1] < 8 * max(per_unit[0], 1e-6)
+    # Expansion stays bounded for sparse graphs.
+    for row in rows:
+        assert row["expansion"] < 3.0

@@ -1,0 +1,63 @@
+"""Ablation — diagonal window width ω.
+
+DESIGN.md calls out the window as MEGA's central knob: wider windows
+cover high-degree vertices with fewer revisits (shorter paths) but pay
+more masked band slots (redundant compute).  This sweep quantifies the
+trade-off and checks the adaptive choice sits near the sweet spot.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import (
+    MegaConfig,
+    PathRepresentation,
+    adaptive_window,
+    make_dense_band_plan,
+    theoretical_revisit_bound,
+)
+from repro.graph.generators import erdos_renyi
+
+WINDOWS = (1, 2, 4, 8)
+
+
+def compute():
+    g = erdos_renyi(np.random.default_rng(11), 120, 0.06)
+    rows = []
+    for window in WINDOWS:
+        rep = PathRepresentation.from_graph(g, MegaConfig(window=window))
+        dense = make_dense_band_plan(rep)
+        rows.append({
+            "window": window,
+            "path length": rep.length,
+            "expansion": rep.expansion,
+            "revisits": rep.schedule.revisits,
+            "bound": theoretical_revisit_bound(g.degrees(), window),
+            "band fill": dense.fill_ratio,
+            "band slots": dense.num_slots,
+        })
+    return rows, g
+
+
+def test_ablation_window(benchmark):
+    rows, g = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Ablation: window width vs path size and band fill", rows,
+                ["window", "path length", "expansion", "revisits", "bound",
+                 "band fill", "band slots"])
+    adaptive = adaptive_window(g)
+    print(f"(adaptive window for this graph: {adaptive})")
+    lengths = [r["path length"] for r in rows]
+    fills = [r["band fill"] for r in rows]
+    # Wider windows shorten the path ...
+    assert lengths == sorted(lengths, reverse=True)
+    # ... but dilute the band with masked slots.
+    assert fills == sorted(fills, reverse=True)
+    # Revisits shrink (weakly) as the window widens; the printed "bound"
+    # column is the paper's optimistic estimate, reported for reference
+    # only — it assumes each appearance covers ω incident edges, which
+    # random graphs rarely allow.
+    revisits = [r["revisits"] for r in rows]
+    assert revisits == sorted(revisits, reverse=True)
+    # The adaptive policy picks a width inside the swept range.
+    assert WINDOWS[0] <= adaptive <= WINDOWS[-1]

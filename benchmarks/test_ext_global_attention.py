@@ -1,0 +1,74 @@
+"""Extension — global attention as a model-level comparator (Fig. 1 / §II).
+
+The paper argues global attention is execution-efficient but pays
+quadratic redundancy, while graph attention is work-efficient but
+irregular; MEGA claims both.  This bench trains the same GT under all
+three runtimes and compares message volume and learning behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import MegaConfig, PathRepresentation
+from repro.datasets import load_dataset
+from repro.graph.batch import GraphBatch
+from repro.models import (
+    BaselineRuntime,
+    GlobalAttentionRuntime,
+    GraphTransformer,
+    MegaRuntime,
+    ModelConfig,
+)
+from repro.tensor.optim import Adam
+
+STEPS = 12
+
+
+def compute():
+    ds = load_dataset("ZINC", scale=0.006)
+    graphs = ds.train[:24]
+    batch = GraphBatch(graphs)
+    paths = [PathRepresentation.from_graph(g, MegaConfig()) for g in graphs]
+    runtimes = {
+        "graph (dgl)": BaselineRuntime(batch),
+        "mega": MegaRuntime(batch, paths),
+        "global": GlobalAttentionRuntime(batch),
+    }
+    rows = []
+    for name, rt in runtimes.items():
+        cfg = ModelConfig.for_dataset(ds, hidden_dim=16, num_layers=2,
+                                      seed=3)
+        model = GraphTransformer(cfg)
+        opt = Adam(model.parameters(), lr=3e-3)
+        losses = []
+        for _ in range(STEPS):
+            loss = model.loss(model(batch, rt), batch.labels)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        rows.append({
+            "attention": name,
+            "messages": rt.num_messages,
+            "messages/node": rt.num_messages / batch.num_nodes,
+            "first loss": losses[0],
+            "last loss": losses[-1],
+        })
+    return rows, batch
+
+
+def test_ext_global_attention(benchmark):
+    rows, batch = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Extension: attention regimes on one ZINC batch", rows,
+                ["attention", "messages", "messages/node", "first loss",
+                 "last loss"])
+    by_name = {r["attention"]: r for r in rows}
+    # Quadratic redundancy: global processes many times the messages.
+    assert (by_name["global"]["messages"]
+            > 5 * by_name["graph (dgl)"]["messages"])
+    # MEGA processes exactly the graph's message volume.
+    assert by_name["mega"]["messages"] == by_name["graph (dgl)"]["messages"]
+    # All three regimes learn (loss decreases).
+    for row in rows:
+        assert row["last loss"] < row["first loss"], row

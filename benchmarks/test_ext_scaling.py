@@ -1,0 +1,38 @@
+"""Extension — simulated strong scaling of distributed training rounds.
+
+Extends §IV-B6 from volume counting to round-time modelling: path
+partitions keep communication constant per device (two halo exchanges)
+while edge cuts approach all-to-all, so path layouts scale further.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import MegaConfig, PathRepresentation
+from repro.distributed import scaling_sweep
+from repro.graph.generators import erdos_renyi
+
+KS = (2, 4, 8, 16)
+
+
+def compute():
+    g = erdos_renyi(np.random.default_rng(9), 2000, 0.003)
+    rep = PathRepresentation.from_graph(g, MegaConfig(window=2))
+    return scaling_sweep(g, rep, list(KS), feature_dim=64), rep
+
+
+def test_ext_scaling(benchmark):
+    rows, rep = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Extension: strong scaling of one aggregation round",
+                rows, ["k", "edge_cut_round_s", "path_round_s",
+                       "edge_cut_scaling", "path_scaling",
+                       "edge_cut_comm_share", "path_comm_share"])
+    for row in rows:
+        # The path layout is never behind at any width.
+        assert row["path_round_s"] <= row["edge_cut_round_s"] * 1.05
+        assert row["path_comm_share"] <= row["edge_cut_comm_share"] + 0.05
+    # Path scaling keeps improving with k; edge cut saturates earlier.
+    path_curve = [r["path_scaling"] for r in rows]
+    assert path_curve == sorted(path_curve)
+    assert rows[-1]["path_scaling"] > rows[-1]["edge_cut_scaling"]

@@ -1,0 +1,37 @@
+"""Fig. 1b — graph-attention / global-attention time ratio.
+
+Paper: the ratio exceeds 1 and grows as graphs get bigger, showing that
+sparse graph attention is slower than dense global attention despite
+doing less arithmetic.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.profiling import attention_time_ratio
+
+NODE_COUNTS = (64, 128, 256, 512)
+FEATURE_DIMS = (64, 128)
+SPARSITY = 0.05
+
+
+def compute_ratios():
+    rows = []
+    for n in NODE_COUNTS:
+        row = {"nodes": n}
+        for d in FEATURE_DIMS:
+            row[f"ratio(d={d})"] = attention_time_ratio(n, d, SPARSITY)
+        rows.append(row)
+    return rows
+
+
+def test_fig01_attention_ratio(benchmark):
+    rows = benchmark.pedantic(compute_ratios, rounds=1, iterations=1)
+    print_table("Fig. 1b: graph/global attention time ratio "
+                f"(sparsity={SPARSITY})",
+                rows, ["nodes"] + [f"ratio(d={d})" for d in FEATURE_DIMS])
+    # Shape claims: ratio > 1 everywhere, increasing with node count.
+    for d in FEATURE_DIMS:
+        series = [r[f"ratio(d={d})"] for r in rows]
+        assert all(v > 1.0 for v in series)
+        assert series[-1] > 2 * series[0]

@@ -1,0 +1,64 @@
+"""Fig. 5 — run-time percentage per GPU kernel (baseline, dim 64).
+
+Paper setting: hidden dim 64, batch sizes 128 and 256.  Key shapes:
+graph kernels (dgl + cub) plus Memcpy consume a large share of the
+epoch; GT spends a larger share on graph operations than GCN (its 5x
+scatter calls); CSL's constant graph size keeps its mix stable across
+batch sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_profile, print_table
+
+DATASETS = ("ZINC", "AQSOL", "CSL", "CYCLES")
+GROUPS = {
+    "sgemm": ("sgemm",),
+    "graph(dgl+cub)": ("dgl::scatter", "dgl::gather", "cub::sort"),
+    "elementwise": ("elementwise",),
+    "Memcpy": ("Memcpy",),
+}
+
+
+def share(prof, names):
+    pct = prof.time_percentages()
+    return sum(pct.get(n, 0.0) for n in names)
+
+
+def compute():
+    rows = []
+    for dataset in DATASETS:
+        for model in ("GCN", "GT"):
+            for batch in (128, 256):
+                prof = cached_profile(dataset, model, "baseline",
+                                      batch_size=batch, hidden_dim=64)
+                row = {"dataset": dataset, "model": model, "batch": batch}
+                for label, names in GROUPS.items():
+                    row[label] = share(prof, names)
+                rows.append(row)
+    return rows
+
+
+def test_fig05_kernel_time(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Fig. 5: kernel run-time percentages (baseline, dim 64)",
+                rows,
+                ["dataset", "model", "batch"] + list(GROUPS))
+    by_key = {(r["dataset"], r["model"], r["batch"]): r for r in rows}
+    for dataset in DATASETS:
+        for batch in (128, 256):
+            gcn = by_key[(dataset, "GCN", batch)]
+            gt = by_key[(dataset, "GT", batch)]
+            # GT is more graph-op-bound than GCN (Table I's 5x scatters).
+            assert gt["graph(dgl+cub)"] > gcn["graph(dgl+cub)"] - 0.05, (
+                dataset, batch)
+            # Graph operations are a major cost in every configuration.
+            assert gt["graph(dgl+cub)"] > 0.3
+    # CSL's fixed graph size keeps its kernel mix the most stable
+    # across batch sizes.
+    def drift(ds):
+        a = by_key[(ds, "GCN", 128)]["graph(dgl+cub)"]
+        b = by_key[(ds, "GCN", 256)]["graph(dgl+cub)"]
+        return abs(a - b)
+
+    assert drift("CSL") <= max(drift(d) for d in DATASETS) + 1e-9

@@ -1,0 +1,17 @@
+"""Fig. 12 — ZINC end-to-end convergence with GT (paper: ≈2x speedup)."""
+
+import pytest
+
+from benchmarks.e2e_common import run_e2e
+
+
+def test_fig12_zinc_e2e(benchmark):
+    result = benchmark.pedantic(
+        run_e2e, args=("ZINC", "GT"),
+        kwargs={"num_epochs": 8, "hidden_dim": 32, "num_layers": 3},
+        rounds=1, iterations=1)
+    assert result.speedup > 1.3
+    assert result.final_metric_mega == pytest.approx(
+        result.final_metric_baseline, rel=1e-6)
+    records = result.baseline.records
+    assert records[-1].train_loss < records[0].train_loss

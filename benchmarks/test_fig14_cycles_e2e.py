@@ -1,0 +1,23 @@
+"""Fig. 14 — CYCLES end-to-end convergence with GCN (paper: ≈1.6x).
+
+CYCLES is the sparsest dataset (disconnected filler forests), so the
+path representation needs jumps; the speedup is correspondingly the
+smallest of the four datasets in the paper.
+"""
+
+import pytest
+
+from benchmarks.e2e_common import run_e2e
+
+
+def test_fig14_cycles_e2e(benchmark):
+    result = benchmark.pedantic(
+        run_e2e, args=("CYCLES", "GCN"),
+        kwargs={"num_epochs": 14, "hidden_dim": 32, "num_layers": 3,
+                "scale": 0.008},
+        rounds=1, iterations=1)
+    assert result.speedup > 1.1
+    assert result.final_metric_mega == pytest.approx(
+        result.final_metric_baseline, rel=1e-6)
+    # Above the 50% chance level of the binary task.
+    assert result.baseline.best_metric() > 0.5

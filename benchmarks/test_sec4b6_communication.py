@@ -1,0 +1,43 @@
+"""§IV-B6 — distributed communication: path partition vs edge cut.
+
+Paper: a partitioned graph needs expensive all-to-all neighbourhood
+exchange, while partitioning MEGA's path costs only two communications
+per adjacent chunk pair — O(k) total.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import MegaConfig, PathRepresentation
+from repro.distributed import communication_sweep
+from repro.graph.generators import erdos_renyi
+
+KS = (2, 4, 8, 16, 32)
+
+
+def compute():
+    g = erdos_renyi(np.random.default_rng(7), 600, 0.01)
+    rep = PathRepresentation.from_graph(g, MegaConfig(window=2))
+    return communication_sweep(g, rep, list(KS)), rep
+
+
+def test_sec4b6_communication(benchmark):
+    rows, rep = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Sec. IV-B6: communication, edge-cut vs path partition",
+                rows, ["k", "edge_cut_pairs", "edge_cut_volume",
+                       "path_pairs", "path_volume"])
+    print(f"(path expansion factor: {rep.expansion:.2f})")
+    for row in rows:
+        # Path partition: exactly k-1 neighbouring pairs — O(k).
+        assert row["path_pairs"] == row["k"] - 1
+        # And far cheaper volume than the edge-cut exchange.
+        assert row["path_volume"] < row["edge_cut_volume"]
+    # Edge-cut pair count grows superlinearly towards all-to-all.
+    pair_growth = rows[-1]["edge_cut_pairs"] / max(rows[0]["edge_cut_pairs"], 1)
+    k_growth = KS[-1] / KS[0]
+    assert pair_growth > k_growth
+    # Path volume grows linearly in k (slope 2ω rows per boundary).
+    vols = [r["path_volume"] for r in rows]
+    slopes = np.diff(vols) / np.diff(KS)
+    assert np.allclose(slopes, slopes[0], rtol=0.01)

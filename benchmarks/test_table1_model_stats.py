@@ -1,0 +1,36 @@
+"""Table I — model configuration statistics.
+
+Paper values: GCN 5d² parameters, 1 scatter / 2 gathers per layer;
+GT 14d² parameters, 5 scatters / 2 gathers per layer.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.models import table_one
+
+PAPER = {
+    "GCN": {"params_d2": 5, "scatter": 1, "gather": 2},
+    "GT": {"params_d2": 14, "scatter": 5, "gather": 2},
+}
+
+
+def test_table1_model_stats(benchmark):
+    stats = benchmark.pedantic(table_one, rounds=1, iterations=1)
+    rows = []
+    for name, s in stats.items():
+        rows.append({
+            "model": name,
+            "param volume (d^2/layer)": s.parameter_volume_d2,
+            "paper": PAPER[name]["params_d2"],
+            "scatter calls": s.scatter_calls_per_layer,
+            "gather calls": s.gather_calls_per_layer,
+            "total params": s.total_parameters,
+        })
+    print_table("Table I: model configuration statistics", rows,
+                ["model", "param volume (d^2/layer)", "paper",
+                 "scatter calls", "gather calls", "total params"])
+    for name, s in stats.items():
+        assert s.parameter_volume_d2 == pytest.approx(PAPER[name]["params_d2"])
+        assert s.scatter_calls_per_layer == PAPER[name]["scatter"]
+        assert s.gather_calls_per_layer == PAPER[name]["gather"]

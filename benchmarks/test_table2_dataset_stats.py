@@ -1,0 +1,47 @@
+"""Table II — graph statistics of the four datasets.
+
+Paper row format: splits, mean nodes, mean (directed) edges, sparsity.
+Generated datasets must land near the published statistics.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.datasets import load_dataset
+from repro.datasets.statistics import table_two_row
+
+PAPER = {
+    "ZINC": {"nodes": 23, "edges": 50, "sparsity": 0.096},
+    "AQSOL": {"nodes": 18, "edges": 36, "sparsity": 0.148},
+    "CSL": {"nodes": 41, "edges": 164, "sparsity": 0.098},
+    "CYCLES": {"nodes": 49, "edges": 88, "sparsity": 0.036},
+}
+
+
+def compute_rows(scale):
+    rows = []
+    for name in PAPER:
+        ds = load_dataset(name, scale=scale if name != "CSL" else 1.0)
+        r = table_two_row(ds)
+        rows.append({
+            "dataset": name, "train": r.train, "val": r.validation,
+            "test": r.test, "nodes": r.mean_nodes, "edges": r.mean_edges,
+            "sparsity": r.mean_sparsity,
+            "paper(n/e/sp)": (f"{PAPER[name]['nodes']}/"
+                              f"{PAPER[name]['edges']}/"
+                              f"{PAPER[name]['sparsity']}"),
+        })
+    return rows
+
+
+def test_table2_dataset_stats(benchmark, bench_scale):
+    rows = benchmark.pedantic(compute_rows, args=(bench_scale,),
+                              rounds=1, iterations=1)
+    print_table("Table II: graph statistics", rows,
+                ["dataset", "train", "val", "test", "nodes", "edges",
+                 "sparsity", "paper(n/e/sp)"])
+    for row in rows:
+        paper = PAPER[row["dataset"]]
+        assert row["nodes"] == pytest.approx(paper["nodes"], rel=0.15)
+        assert row["edges"] == pytest.approx(paper["edges"], rel=0.15)
+        assert row["sparsity"] == pytest.approx(paper["sparsity"], rel=0.35)

@@ -1,0 +1,58 @@
+"""Distributed-training communication analysis (paper §IV-B6).
+
+Partitions a graph for k workers two ways — a conventional balanced
+edge-cut node partition, and MEGA's contiguous path partition — and
+compares how many partition pairs must exchange embeddings per
+aggregation round and how many rows cross the wire.
+
+Run:  python examples/distributed_partitioning.py [--nodes 600]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import MegaConfig, PathRepresentation
+from repro.distributed import communication_sweep
+from repro.graph.generators import erdos_renyi
+from repro.graph.partition import (
+    cut_edges,
+    edge_cut_partition,
+    replication_factor,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=600)
+    parser.add_argument("--mean-degree", type=float, default=6.0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(0)
+    graph = erdos_renyi(rng, args.nodes, args.mean_degree / args.nodes)
+    rep = PathRepresentation.from_graph(graph, MegaConfig(window=2))
+    print(f"graph: {graph}")
+    print(f"path:  {rep}")
+
+    ks = [2, 4, 8, 16, 32]
+    rows = communication_sweep(graph, rep, ks)
+    print(f"\n{'k':>3s} {'edge-cut pairs':>15s} {'edge-cut rows':>14s} "
+          f"{'path pairs':>11s} {'path rows':>10s} {'saving':>8s}")
+    for row in rows:
+        saving = 1 - row["path_volume"] / max(row["edge_cut_volume"], 1)
+        print(f"{row['k']:3d} {row['edge_cut_pairs']:15d} "
+              f"{row['edge_cut_volume']:14d} {row['path_pairs']:11d} "
+              f"{row['path_volume']:10d} {saving:8.1%}")
+
+    k = 8
+    assignment = edge_cut_partition(graph, k, np.random.default_rng(1))
+    print(f"\nedge-cut detail at k={k}: "
+          f"{cut_edges(graph, assignment)} cut edges, "
+          f"replication factor "
+          f"{replication_factor(graph, assignment, k):.2f}")
+    print("path partition at any k communicates only with its two "
+          "neighbours: O(k) messages total, as claimed in Section IV-B6.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Heterogeneous-graph scheduling (paper §Discussion, HAN-style).
+
+Builds a blocked heterogeneous graph (e.g. author-paper-venue), runs one
+MEGA traversal per node type, merges the paths in type-connectivity
+order, and reports how much of the workload the diagonal band absorbs
+versus the hierarchical cross-type stage.
+
+Run:  python examples/heterogeneous_paths.py
+"""
+
+import numpy as np
+
+from repro.hetero import (
+    build_hetero_plan,
+    hetero_schedule_report,
+    random_hetero_graph,
+)
+
+
+def main():
+    rng = np.random.default_rng(42)
+    hetero = random_hetero_graph(rng, nodes_per_type=[60, 40, 25],
+                                 intra_p=0.12, inter_p=0.015)
+    print(f"graph: {hetero}")
+    print(f"type sizes: {hetero.type_counts().tolist()}")
+    print(f"edges between type pairs: "
+          f"{dict(sorted(hetero.type_connection_counts().items()))}")
+
+    plan = build_hetero_plan(hetero)
+    report = hetero_schedule_report(plan)
+    print(f"\ntype order in merged path: {report['type_order']}")
+    print(f"merged path length: {report['merged_length']} "
+          f"(expansion {report['expansion']:.2f})")
+    for t, length in report["segment_lengths"].items():
+        lo, hi = plan.segment_of_type(t)
+        print(f"  type {t}: segment [{lo}, {hi}) of length {length}")
+    print(f"\nintra-type edges covered by diagonal bands: "
+          f"{report['intra_coverage']:.0%}")
+    print(f"share of all edges handled by the band: "
+          f"{report['banded_fraction']:.0%}")
+    print(f"cross-type edges routed to the hierarchical merge stage: "
+          f"{report['cross_edges']}")
+
+    # The band messages stay within their type segments — the property
+    # that lets each type's chunk live on its own device.
+    src_seg = np.searchsorted(
+        [hi for _, hi in plan.segment_bounds], plan.band_pos_src,
+        side="right")
+    dst_seg = np.searchsorted(
+        [hi for _, hi in plan.segment_bounds], plan.band_pos_dst,
+        side="right")
+    assert (src_seg == dst_seg).all()
+    print("\nevery band message stays inside one type segment — "
+          "cross-device traffic is exactly the cross-type edge set.")
+
+    # Train a small HAN-style model on top of the schedule: predict the
+    # normalised cross-type connectivity of held-out graphs.
+    from repro.hetero import HeteroGNN, HeteroMegaRuntime
+    from repro.tensor.optim import Adam
+
+    graphs = [random_hetero_graph(np.random.default_rng(s), [15, 12],
+                                  intra_p=0.2,
+                                  inter_p=0.02 + 0.02 * (s % 4))
+              for s in range(10)]
+    targets = [len(g.cross_type_edges()) / g.num_nodes for g in graphs]
+    num_edge_types = max(int(g.edge_types.max()) for g in graphs) + 1
+    model = HeteroGNN(num_node_types=2, num_edge_types=num_edge_types,
+                      hidden_dim=16, num_layers=2)
+    runtimes = [HeteroMegaRuntime(g) for g in graphs]
+    opt = Adam(model.parameters(), lr=5e-3)
+    print("\ntraining HeteroGNN on cross-type connectivity:")
+    for step in range(20):
+        total = 0.0
+        for g, rt, y in zip(graphs, runtimes, targets):
+            loss = model.loss(model(g, rt), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            total += loss.item()
+        if step % 5 == 0 or step == 19:
+            print(f"  step {step:2d}: total loss {total:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Weisfeiler-Lehman analysis of path representations (paper Fig. 8).
+
+For graphs of several sizes and two sparsity levels, measures how much
+structure the path representation preserves per aggregation hop,
+compared with global (fully connected) attention.
+
+Run:  python examples/isomorphism_check.py
+"""
+
+import numpy as np
+
+from repro.core import MegaConfig, PathRepresentation
+from repro.core.isomorphism import (
+    global_similarity_profile,
+    path_similarity_profile,
+)
+from repro.graph.generators import erdos_renyi_with_sparsity
+
+HOPS = 3
+
+
+def main():
+    print(f"{'sparsity':>8s} {'nodes':>6s} {'mode':>10s} "
+          + " ".join(f"{'hop' + str(h):>7s}" for h in range(1, HOPS + 1)))
+    for sparsity in (0.05, 1.0):
+        for n in (16, 32, 64):
+            rng = np.random.default_rng(n)
+            g = erdos_renyi_with_sparsity(rng, n, sparsity)
+            rep = PathRepresentation.from_graph(g, MegaConfig())
+            rows = {
+                "p (masked)": path_similarity_profile(
+                    g, rep, HOPS, include_virtual=False),
+                "p (virtual)": path_similarity_profile(
+                    g, rep, HOPS, include_virtual=True),
+                "g (global)": global_similarity_profile(g, HOPS),
+            }
+            for mode, sims in rows.items():
+                values = " ".join(f"{s:7.3f}" for s in sims[1:])
+                print(f"{sparsity:8.2f} {n:6d} {mode:>10s} {values}")
+    print("\n'p (masked)' is the band restricted to real edges (what the "
+          "models aggregate): identical to the input graph at full "
+          "coverage.  'p (virtual)' additionally explores hypothetical "
+          "connections; 'g' is global attention, which destroys local "
+          "structure on sparse graphs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of "MEGA: More Efficient Graph Attention for GNNs" (ICDCS'24).
+
+Top-level convenience re-exports.  Sub-packages:
+
+- :mod:`repro.tensor`  — numpy autograd engine (neural-op substrate)
+- :mod:`repro.graph`   — COO/CSR graphs, batching, generators
+- :mod:`repro.datasets`— synthetic ZINC/AQSOL/CSL/CYCLES stand-ins
+- :mod:`repro.memsim`  — analytical GPU memory/profiling model
+- :mod:`repro.core`    — MEGA: traversal scheduler, path representation,
+  adaptive diagonal attention, WL isomorphism scoring
+- :mod:`repro.models`  — GatedGCN and Graph Transformer (baseline + MEGA)
+- :mod:`repro.train`   — training loops with simulated wall clock
+- :mod:`repro.distributed` — partitioning and communication analysis
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    ReproError,
+    ScheduleError,
+    ShapeError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ShapeError",
+    "GraphError",
+    "ScheduleError",
+    "ConfigError",
+    "SimulationError",
+]

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+stats       Print the paper's Tables I-III from the generated datasets.
+preprocess  Build MEGA schedules for a dataset and save them to .npz.
+profile     nvprof-style kernel profile of one configuration.
+train       Train a model under a schedule; prints per-epoch history.
+compare     Baseline-vs-MEGA epoch time and convergence summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+DATASETS = ["ZINC", "AQSOL", "CSL", "CYCLES"]
+MODELS = ["GCN", "GT", "GAT"]
+METHODS = ["baseline", "mega", "global"]
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="ZINC", choices=DATASETS)
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="split-size scale (1.0 = paper-sized)")
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="GT", choices=MODELS)
+    parser.add_argument("--hidden-dim", type=int, default=64)
+    parser.add_argument("--layers", type=int, default=4)
+    parser.add_argument("--batch-size", type=int, default=64)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.datasets.statistics import table_three_row, table_two_row
+    from repro.models import table_one
+
+    print("Table I — model configuration statistics")
+    for name, s in table_one().items():
+        print(f"  {name}: {s.parameter_volume_d2:.0f}d^2/layer, "
+              f"scatter x{s.scatter_calls_per_layer:.0f}, "
+              f"gather x{s.gather_calls_per_layer:.0f}")
+    print("\nTable II / III — dataset statistics")
+    for name in DATASETS:
+        ds = load_dataset(name, scale=args.scale if name != "CSL" else 1.0)
+        r2 = table_two_row(ds)
+        r3 = table_three_row(ds)
+        print(f"  {name:7s} n={r2.mean_nodes:5.1f} e={r2.mean_edges:6.1f} "
+              f"sp={r2.mean_sparsity:.3f} mu(sd)={r3.mean_degree_std:.2f} "
+              f"eps={r3.mean_ks_similarity:.2f}")
+    return 0
+
+
+def cmd_preprocess(args: argparse.Namespace) -> int:
+    from repro.core import MegaConfig, PathRepresentation, save_schedules_npz
+    from repro.datasets import load_dataset
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    config = MegaConfig(window=args.window, coverage=args.coverage)
+    start = time.perf_counter()
+    schedules = {}
+    expansions = []
+    for split, graphs in ds.splits.items():
+        for i, g in enumerate(graphs):
+            rep = PathRepresentation.from_graph(g, config)
+            schedules[f"{split}/{i}"] = rep.schedule
+            expansions.append(rep.expansion)
+    elapsed = time.perf_counter() - start
+    save_schedules_npz(schedules, args.output)
+    print(f"scheduled {len(schedules)} graphs in {elapsed:.2f}s "
+          f"(mean expansion {np.mean(expansions):.2f}) -> {args.output}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.memsim.report import compare_profiles, format_profile
+    from repro.profiling import profile_configuration
+
+    prof = profile_configuration(
+        args.dataset, args.model, args.method,
+        batch_size=args.batch_size, hidden_dim=args.hidden_dim,
+        num_layers=args.layers, scale=args.scale)
+    print(format_profile(
+        prof, title=f"{args.method} {args.model} on {args.dataset}"))
+    if args.against:
+        other = profile_configuration(
+            args.dataset, args.model, args.against,
+            batch_size=args.batch_size, hidden_dim=args.hidden_dim,
+            num_layers=args.layers, scale=args.scale)
+        print()
+        print(compare_profiles(other, prof,
+                               names=(args.against, args.method)))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.train import Trainer, build_model
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    model = build_model(args.model, ds, hidden_dim=args.hidden_dim,
+                        num_layers=args.layers)
+    trainer = Trainer(model, ds, method=args.method,
+                      batch_size=args.batch_size, lr=args.lr)
+    history = trainer.fit(args.epochs)
+    metric = "acc" if ds.task == "classification" else "MAE"
+    for rec in history.records:
+        print(f"epoch {rec.epoch:3d}  loss {rec.train_loss:.4f}  "
+              f"val {metric} {rec.val_metric:.4f}  "
+              f"clock {rec.sim_time_s:.4f}s")
+    if trainer.preprocess_s:
+        print(f"preprocessing: {trainer.preprocess_s:.2f}s wall (one-time)")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core import MegaConfig, format_schedule_report, schedule_report
+    from repro.datasets import load_dataset
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    graphs = ds.train[:args.count]
+    config = MegaConfig(window=args.window)
+    for idx, g in enumerate(graphs):
+        print(f"--- {args.dataset} train graph {idx} ---")
+        print(format_schedule_report(schedule_report(g, config)))
+        print()
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.train import run_convergence
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    result = run_convergence(ds, args.model, hidden_dim=args.hidden_dim,
+                             num_layers=args.layers,
+                             batch_size=args.batch_size,
+                             num_epochs=args.epochs, lr=args.lr)
+    base = result.baseline.records[-1]
+    mega = result.mega.records[-1]
+    print(f"{args.dataset} + {args.model}: "
+          f"dgl {base.sim_time_s:.4f}s vs mega {mega.sim_time_s:.4f}s "
+          f"for {args.epochs} epochs")
+    print(f"convergence speedup: {result.speedup:.2f}x, final metric "
+          f"{result.final_metric_baseline:.4f} / "
+          f"{result.final_metric_mega:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="print Tables I-III")
+    p.add_argument("--scale", type=float, default=0.02)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("preprocess", help="build and save MEGA schedules")
+    _add_dataset_args(p)
+    p.add_argument("--window", type=int, default=None)
+    p.add_argument("--coverage", type=float, default=1.0)
+    p.add_argument("--output", default="schedules.npz")
+    p.set_defaults(func=cmd_preprocess)
+
+    p = sub.add_parser("profile", help="simulated kernel profile")
+    _add_dataset_args(p)
+    _add_model_args(p)
+    p.add_argument("--method", default="baseline", choices=METHODS[:2])
+    p.add_argument("--against", default=None, choices=METHODS[:2],
+                   help="also profile this method and print a comparison")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("train", help="train one model")
+    _add_dataset_args(p)
+    _add_model_args(p)
+    p.add_argument("--method", default="mega", choices=METHODS[:2])
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--lr", type=float, default=1e-3)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("analyze", help="schedule-quality report per graph")
+    _add_dataset_args(p)
+    p.add_argument("--count", type=int, default=2)
+    p.add_argument("--window", type=int, default=None)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("compare", help="baseline vs MEGA summary")
+    _add_dataset_args(p)
+    _add_model_args(p)
+    p.add_argument("--epochs", type=int, default=8)
+    p.add_argument("--lr", type=float, default=3e-3)
+    p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

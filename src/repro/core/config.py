@@ -1,0 +1,66 @@
+"""Configuration for the MEGA preprocessing stage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MegaConfig:
+    """Parameters of the graph-reorganisation preprocessing (Section III-B).
+
+    Attributes
+    ----------
+    window:
+        Diagonal attention half-width ``ω``: a path position attends to
+        positions within ``ω`` of itself.  ``None`` selects the width
+        adaptively from the graph's mean degree (Section III-C).
+    coverage:
+        Edge-coverage target ``θ`` in (0, 1]: traversal stops once this
+        fraction of edges is covered by the band *and* every vertex has
+        appeared.  The paper's end-to-end runs use ``θ=1`` ("path
+        representations encompassed all nodes and edges").
+    edge_drop:
+        Fraction of edges randomly dropped before scheduling (Fig. 15's
+        DropEdge-style augmentation).  0 disables dropping.
+    start:
+        Starting vertex policy: ``"max_degree"``, ``"min_degree"``,
+        ``"peripheral"``, ``"zero"`` or an explicit vertex id.
+    max_window:
+        Upper clamp for the adaptive window.
+    seed:
+        RNG seed for tie-breaking and edge dropping.
+    symmetric_reuse:
+        Reuse per-edge computations across both directions of an
+        undirected edge (Section III-C's bidirectional-redundancy
+        elimination).
+    """
+
+    window: Optional[int] = None
+    coverage: float = 1.0
+    edge_drop: float = 0.0
+    start: object = "max_degree"
+    max_window: int = 32
+    seed: int = 0
+    symmetric_reuse: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window is not None and self.window < 1:
+            raise ConfigError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ConfigError(f"coverage must be in (0, 1], got {self.coverage}")
+        if not 0.0 <= self.edge_drop < 1.0:
+            raise ConfigError(f"edge_drop must be in [0, 1), got {self.edge_drop}")
+        if self.max_window < 1:
+            raise ConfigError(f"max_window must be >= 1, got {self.max_window}")
+        if isinstance(self.start, str):
+            if self.start not in ("max_degree", "min_degree", "peripheral", "zero"):
+                raise ConfigError(f"unknown start policy {self.start!r}")
+        elif not isinstance(self.start, (int,)):
+            raise ConfigError("start must be a policy name or a vertex id")
+
+
+DEFAULT_CONFIG = MegaConfig()

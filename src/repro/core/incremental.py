@@ -1,0 +1,178 @@
+"""Incremental maintenance of path representations for dynamic graphs.
+
+The paper's discussion points at latency-constrained dynamic workloads
+(DYGAT-style streaming).  Rebuilding the schedule on every edge update
+would defeat the purpose, so :class:`IncrementalPath` maintains a valid
+band under edge insertions and deletions:
+
+* **insert(u, v)** — if some appearance pair of (u, v) already sits
+  within the window, the edge is adopted into the band in place;
+  otherwise the two vertices are appended as a short patch segment at
+  the end of the path (reachable via a virtual jump).
+* **remove(u, v)** — the edge leaves the band; its path positions stay
+  (stale but harmless).
+
+Patches accumulate *staleness* (extra appearances and virtual jumps);
+once the expansion exceeds a threshold, :meth:`rebuild` reruns
+Algorithm 1 from scratch — amortising the full cost over many updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import MegaConfig
+from repro.core.path import PathRepresentation
+from repro.core.schedule import TraversalResult
+from repro.errors import GraphError, ScheduleError
+from repro.graph.graph import Graph
+
+
+class IncrementalPath:
+    """A path representation that absorbs edge updates in place."""
+
+    def __init__(self, graph: Graph, config: Optional[MegaConfig] = None,
+                 rebuild_expansion: float = 1.5):
+        """``rebuild_expansion`` is *relative*: a rebuild triggers when
+        the path grows past ``rebuild_expansion x`` its length right
+        after the previous rebuild (1.5 = 50% patch growth)."""
+        if rebuild_expansion <= 1.0:
+            raise ScheduleError("rebuild_expansion must exceed 1.0")
+        self.config = config or MegaConfig()
+        self.rebuild_expansion = rebuild_expansion
+        self._edges: Set[Tuple[int, int]] = set()
+        self._num_nodes = graph.num_nodes
+        for s, d in zip(graph.src.tolist(), graph.dst.tolist()):
+            self._edges.add((min(s, d), max(s, d)))
+        self.rebuilds = 0
+        self.patches = 0
+        self._rebuild_from_edges()
+
+    # ------------------------------------------------------------------
+    def _current_graph(self) -> Graph:
+        if self._edges:
+            src, dst = zip(*sorted(self._edges))
+        else:
+            src, dst = (), ()
+        return Graph(self._num_nodes, np.asarray(src, np.int64),
+                     np.asarray(dst, np.int64), undirected=True)
+
+    def _rebuild_from_edges(self) -> None:
+        self.rep = PathRepresentation.from_graph(self._current_graph(),
+                                                 self.config)
+        self._path: List[int] = self.rep.path.tolist()
+        self._virtual: List[bool] = self.rep.virtual_mask.tolist()
+        self.window = self.rep.window
+        # Covered pairs in band form: edge key -> (pos_i, pos_j).
+        self._cover: Dict[Tuple[int, int], Tuple[int, int]] = dict(
+            self.rep.schedule.cover_positions)
+        self._positions_of: Dict[int, List[int]] = {}
+        for pos, v in enumerate(self._path):
+            self._positions_of.setdefault(v, []).append(pos)
+        self.rebuilds += 1
+        self.patches = 0
+        self._base_length = max(len(self._path), 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        return len(self._path)
+
+    @property
+    def expansion(self) -> float:
+        return self.length / max(self._num_nodes, 1)
+
+    @property
+    def coverage(self) -> float:
+        if not self._edges:
+            return 1.0
+        return len(self._cover) / len(self._edges)
+
+    def path_array(self) -> np.ndarray:
+        """The current path (vertex id per position), as an array."""
+        return np.asarray(self._path, dtype=np.int64)
+
+    def band_pairs(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """Covered edge key -> representative position pair."""
+        return dict(self._cover)
+
+    # ------------------------------------------------------------------
+    def _find_band_pair(self, u: int, v: int) -> Optional[Tuple[int, int]]:
+        """A position pair of (u, v) within the window, if one exists."""
+        pos_u = self._positions_of.get(u, [])
+        pos_v = self._positions_of.get(v, [])
+        for i in pos_u:
+            for j in pos_v:
+                if abs(i - j) <= self.window and (i != j or u == v):
+                    return (min(i, j), max(i, j))
+        if u == v and pos_u:
+            return (pos_u[0], pos_u[0])
+        return None
+
+    def insert(self, u: int, v: int) -> bool:
+        """Add edge (u, v); returns True if it was adopted in place
+        (no patch segment needed)."""
+        self._check(u, v)
+        key = (min(u, v), max(u, v))
+        if key in self._edges:
+            raise GraphError(f"edge {key} already present")
+        self._edges.add(key)
+        pair = self._find_band_pair(u, v)
+        if pair is not None:
+            self._cover[key] = pair
+            return True
+        # Patch: append the two endpoints so the new edge is adjacent in
+        # the path.  The jump to the patch is a virtual transition.
+        i = len(self._path)
+        self._append(u, virtual=True)
+        if u != v:
+            self._append(v, virtual=False)
+            self._cover[key] = (i, i + 1)
+        else:
+            self._cover[key] = (i, i)
+        self.patches += 1
+        if len(self._path) > self.rebuild_expansion * self._base_length:
+            self._rebuild_from_edges()
+        return False
+
+    def remove(self, u: int, v: int) -> None:
+        """Remove edge (u, v) from the graph and the band."""
+        self._check(u, v)
+        key = (min(u, v), max(u, v))
+        if key not in self._edges:
+            raise GraphError(f"edge {key} not present")
+        self._edges.discard(key)
+        self._cover.pop(key, None)
+
+    def rebuild(self) -> None:
+        """Force a from-scratch re-schedule of the current edge set."""
+        self._rebuild_from_edges()
+
+    # ------------------------------------------------------------------
+    def _append(self, vertex: int, virtual: bool) -> None:
+        self._positions_of.setdefault(vertex, []).append(len(self._path))
+        self._path.append(vertex)
+        self._virtual.append(virtual)
+
+    def _check(self, u: int, v: int) -> None:
+        for x in (u, v):
+            if not 0 <= x < self._num_nodes:
+                raise GraphError(
+                    f"vertex {x} out of range [0, {self._num_nodes})")
+
+    def to_representation(self) -> PathRepresentation:
+        """Materialise the current state as a PathRepresentation."""
+        graph = self._current_graph()
+        covered = sum(1 for k in self._cover if k in self._edges)
+        result = TraversalResult(
+            path=self.path_array(),
+            virtual_mask=np.asarray(self._virtual, dtype=bool),
+            cover_positions={k: p for k, p in self._cover.items()
+                             if k in self._edges},
+            window=self.window,
+            covered_edges=covered,
+            total_edges=len(self._edges),
+            num_jumps=int(np.asarray(self._virtual).sum()))
+        return PathRepresentation(graph, result)

@@ -1,0 +1,108 @@
+"""Text-mode visualisation of adjacency matrices and band layouts.
+
+Reproduces the paper's Figure 3b / Figure 7 style pictures — the
+original adjacency matrix versus the path-reorganised, diagonal-banded
+one — as terminal art.  No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.diagonal import band_layout_matrix
+from repro.core.path import PathRepresentation
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+_FILLED = "#"
+_EMPTY = "."
+_DIAG = "+"
+
+
+def render_matrix(matrix: np.ndarray, max_size: int = 60,
+                  mark_diagonal: bool = True) -> str:
+    """ASCII rendering of a 0/1 matrix (# = 1, . = 0, + = diagonal)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise GraphError("expected a square matrix")
+    n = matrix.shape[0]
+    if n > max_size:
+        raise GraphError(
+            f"matrix of size {n} too large to render (max {max_size})")
+    lines: List[str] = []
+    for i in range(n):
+        chars = []
+        for j in range(n):
+            if matrix[i, j]:
+                chars.append(_FILLED)
+            elif mark_diagonal and i == j:
+                chars.append(_DIAG)
+            else:
+                chars.append(_EMPTY)
+        lines.append(" ".join(chars))
+    return "\n".join(lines)
+
+
+def render_adjacency(graph: Graph, max_size: int = 60) -> str:
+    """The original adjacency matrix (Fig. 3b style)."""
+    return render_matrix(graph.adjacency_matrix(), max_size=max_size)
+
+
+def render_band(path_rep: PathRepresentation, max_size: int = 60) -> str:
+    """The path-reorganised band layout (Fig. 7 style)."""
+    return render_matrix(band_layout_matrix(path_rep), max_size=max_size)
+
+
+def side_by_side(left: str, right: str, gap: int = 4,
+                 titles: Optional[tuple] = None) -> str:
+    """Join two ASCII blocks horizontally."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    width = max((len(l) for l in left_lines), default=0)
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    pad = width + gap
+    if titles is not None:
+        pad = max(pad, len(titles[0]) + gap)
+    out = []
+    if titles is not None:
+        out.append(f"{titles[0]:<{pad}}{titles[1]}")
+    for l, r in zip(left_lines, right_lines):
+        out.append(f"{l:<{pad}}{r}")
+    return "\n".join(out)
+
+
+def render_bar_chart(labels: List[str], values: List[float],
+                     width: int = 40, unit: str = "") -> str:
+    """Horizontal ASCII bar chart (for profiler summaries)."""
+    if len(labels) != len(values):
+        raise GraphError("labels and values must align")
+    if not values:
+        return ""
+    peak = max(values)
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak else 0)
+        lines.append(f"{label:<{label_width}} |{bar:<{width}}| "
+                     f"{value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def render_path(path_rep: PathRepresentation, per_line: int = 20) -> str:
+    """The traversal schedule with virtual transitions marked ``~>``."""
+    parts: List[str] = []
+    for i, v in enumerate(path_rep.path.tolist()):
+        if i == 0:
+            parts.append(str(v))
+        elif path_rep.virtual_mask[i]:
+            parts.append(f"~>{v}")
+        else:
+            parts.append(f"->{v}")
+    lines = []
+    for i in range(0, len(parts), per_line):
+        lines.append(" ".join(parts[i:i + per_line]))
+    return "\n".join(lines)

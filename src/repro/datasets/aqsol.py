@@ -1,0 +1,67 @@
+"""Synthetic stand-in for the AQSOL aqueous-solubility dataset.
+
+AQSOL molecules are smaller than ZINC's (~18 atoms, ~36 directed bonds)
+with a wider size spread, 65 atom types and 5 bond types in the
+benchmark version.  The regression target mimics a solubility score:
+dominated by composition with a size penalty — as with ZINC, a smooth
+deterministic function of the graph so training curves are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.datasets.base import GraphDataset
+from repro.graph.generators import molecular_like
+from repro.graph.graph import Graph
+
+NUM_ATOM_TYPES = 65
+NUM_BOND_TYPES = 5
+
+_ATOM_POLARITY = np.cos(0.7 * np.arange(NUM_ATOM_TYPES))
+_BOND_POLARITY = np.sin(1.1 * np.arange(NUM_BOND_TYPES)) * 0.6
+
+
+def _target(graph: Graph) -> float:
+    deg = graph.degrees()
+    n = graph.num_nodes
+    atom_term = float(_ATOM_POLARITY[np.asarray(graph.node_features)].mean())
+    bond_term = float(_BOND_POLARITY[np.asarray(graph.edge_features)].mean()) \
+        if graph.num_edges else 0.0
+    # Solubility-like: dominated by polar composition with a size
+    # penalty; bond types contribute only weakly (as in real aqueous
+    # solubility, which is mostly a composition property — this also
+    # keeps the target learnable under DropEdge augmentation).
+    return (2.0 * atom_term + 0.2 * bond_term
+            - 0.05 * n - 0.2 * float(deg.std()))
+
+
+def _make_molecule(rng: np.random.Generator, mean_nodes: int) -> Graph:
+    # AQSOL sizes are more dispersed than ZINC's (Table III's larger
+    # σ(d_mean) and μ(σ(d))).
+    n = int(np.clip(rng.poisson(mean_nodes) + rng.integers(-6, 7), 6, 46))
+    g = molecular_like(rng, n, ring_fraction=0.3)
+    node_types = rng.integers(0, NUM_ATOM_TYPES, size=n)
+    edge_types = rng.integers(0, NUM_BOND_TYPES, size=g.num_edges)
+    mol = Graph(g.num_nodes, g.src, g.dst, undirected=True,
+                node_features=node_types, edge_features=edge_types)
+    mol.label = _target(mol)
+    return mol
+
+
+def load_aqsol(num_train: int = 7985, num_val: int = 996,
+               num_test: int = 996, mean_nodes: int = 18,
+               seed: int = 11, scale: float = 1.0) -> GraphDataset:
+    """Build the AQSOL-like dataset (see :func:`load_zinc` for ``scale``)."""
+    rng = np.random.default_rng(seed)
+    sizes = [max(8, int(round(s * scale)))
+             for s in (num_train, num_val, num_test)]
+    splits: List[List[Graph]] = [
+        [_make_molecule(rng, mean_nodes) for _ in range(size)]
+        for size in sizes]
+    return GraphDataset(
+        name="AQSOL", task="regression",
+        train=splits[0], validation=splits[1], test=splits[2],
+        num_node_types=NUM_ATOM_TYPES, num_edge_types=NUM_BOND_TYPES)

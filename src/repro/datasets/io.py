@@ -1,0 +1,83 @@
+"""Dataset serialisation: freeze generated datasets to ``.npz``.
+
+The synthetic datasets are deterministic given a seed, but freezing
+them to disk makes experiment artifacts portable and guards against
+generator changes silently shifting results between versions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.datasets.base import GraphDataset
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def _pack_graph(prefix: str, g: Graph, arrays: Dict[str, np.ndarray]) -> None:
+    arrays[f"{prefix}/src"] = g.src
+    arrays[f"{prefix}/dst"] = g.dst
+    arrays[f"{prefix}/meta"] = np.asarray(
+        [g.num_nodes, float(g.label)], dtype=np.float64)
+    if g.node_features is not None:
+        arrays[f"{prefix}/nf"] = np.asarray(g.node_features)
+    if g.edge_features is not None:
+        arrays[f"{prefix}/ef"] = np.asarray(g.edge_features)
+
+
+def _unpack_graph(prefix: str, archive) -> Graph:
+    meta = archive[f"{prefix}/meta"]
+    node_features = (archive[f"{prefix}/nf"]
+                     if f"{prefix}/nf" in archive.files else None)
+    edge_features = (archive[f"{prefix}/ef"]
+                     if f"{prefix}/ef" in archive.files else None)
+    g = Graph(int(meta[0]), archive[f"{prefix}/src"],
+              archive[f"{prefix}/dst"], undirected=True,
+              node_features=node_features, edge_features=edge_features)
+    g.label = float(meta[1])
+    return g
+
+
+def save_dataset(dataset: GraphDataset, path: Union[str, Path]) -> None:
+    """Write a dataset (all splits, features, labels) to one archive."""
+    arrays: Dict[str, np.ndarray] = {
+        "header/info": np.asarray([
+            dataset.num_node_types, dataset.num_edge_types,
+            dataset.num_classes], dtype=np.int64),
+    }
+    arrays["header/name"] = np.asarray([dataset.name])
+    arrays["header/task"] = np.asarray([dataset.task])
+    for split, graphs in dataset.splits.items():
+        arrays[f"header/{split}_count"] = np.asarray([len(graphs)])
+        for i, g in enumerate(graphs):
+            _pack_graph(f"{split}/{i}", g, arrays)
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset_npz(path: Union[str, Path]) -> GraphDataset:
+    """Inverse of :func:`save_dataset`."""
+    archive = np.load(path, allow_pickle=False)
+    if "header/info" not in archive.files:
+        raise GraphError(f"{path} is not a serialised dataset")
+    info = archive["header/info"]
+    name = str(archive["header/name"][0])
+    task = str(archive["header/task"][0])
+    splits: Dict[str, List[Graph]] = {}
+    for split in ("train", "validation", "test"):
+        count = int(archive[f"header/{split}_count"][0])
+        splits[split] = [_unpack_graph(f"{split}/{i}", archive)
+                         for i in range(count)]
+    # Classification labels round-trip through float; restore ints.
+    if task == "classification":
+        for graphs in splits.values():
+            for g in graphs:
+                g.label = int(g.label)
+    return GraphDataset(
+        name=name, task=task,
+        train=splits["train"], validation=splits["validation"],
+        test=splits["test"],
+        num_node_types=int(info[0]), num_edge_types=int(info[1]),
+        num_classes=int(info[2]))

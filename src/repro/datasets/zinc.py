@@ -1,0 +1,74 @@
+"""Synthetic stand-in for the ZINC molecular-regression dataset.
+
+The real ZINC subset (Dwivedi et al. benchmark) has ~23 atoms and ~50
+directed bonds per molecule, 28 atom types, 4 bond types, and a scalar
+"constrained solubility" target.  Our substitute matches those
+statistics (Tables II/III) with molecular-like sparse graphs and a
+target that is a smooth deterministic function of graph structure and
+atom composition — learnable by a GNN, meaningless to a linear readout
+of size alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.base import GraphDataset
+from repro.graph.generators import molecular_like
+from repro.graph.graph import Graph
+
+NUM_ATOM_TYPES = 28
+NUM_BOND_TYPES = 4
+
+# Deterministic per-type "chemistry" weights (fixed, not trainable).
+_ATOM_WEIGHT = np.sin(1.3 * np.arange(NUM_ATOM_TYPES)) * 0.8
+_BOND_WEIGHT = np.cos(0.9 * np.arange(NUM_BOND_TYPES)) * 0.5
+
+
+def _target(graph: Graph) -> float:
+    """Pseudo constrained-solubility: structure + composition score."""
+    deg = graph.degrees()
+    n = graph.num_nodes
+    cyclomatic = graph.num_edges - (n - 1)  # independent cycles
+    atom_term = float(_ATOM_WEIGHT[np.asarray(graph.node_features)].mean())
+    bond_term = float(_BOND_WEIGHT[np.asarray(graph.edge_features)].mean()) \
+        if graph.num_edges else 0.0
+    return (1.5 * atom_term
+            + 1.0 * bond_term
+            - 0.6 * float(deg.mean())
+            + 0.4 * cyclomatic / max(n, 1)
+            + 0.2 * float(deg.std()))
+
+
+def _make_molecule(rng: np.random.Generator, mean_nodes: int) -> Graph:
+    n = int(np.clip(rng.poisson(mean_nodes), 9, 2 * mean_nodes - 5))
+    g = molecular_like(rng, n, ring_fraction=0.45)
+    node_types = rng.integers(0, NUM_ATOM_TYPES, size=n)
+    edge_types = rng.integers(0, NUM_BOND_TYPES, size=g.num_edges)
+    mol = Graph(g.num_nodes, g.src, g.dst, undirected=True,
+                node_features=node_types, edge_features=edge_types)
+    mol.label = _target(mol)
+    return mol
+
+
+def load_zinc(num_train: int = 10000, num_val: int = 1000,
+              num_test: int = 1000, mean_nodes: int = 23,
+              seed: int = 7, scale: float = 1.0) -> GraphDataset:
+    """Build the ZINC-like dataset.
+
+    ``scale`` shrinks all split sizes proportionally (the benchmarks use
+    ``scale < 1`` to keep simulated epochs fast without changing
+    per-graph statistics).
+    """
+    rng = np.random.default_rng(seed)
+    sizes = [max(8, int(round(s * scale)))
+             for s in (num_train, num_val, num_test)]
+    splits: List[List[Graph]] = [
+        [_make_molecule(rng, mean_nodes) for _ in range(size)]
+        for size in sizes]
+    return GraphDataset(
+        name="ZINC", task="regression",
+        train=splits[0], validation=splits[1], test=splits[2],
+        num_node_types=NUM_ATOM_TYPES, num_edge_types=NUM_BOND_TYPES)

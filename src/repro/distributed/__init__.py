@@ -1,0 +1,35 @@
+"""Distributed-training analysis: partitioners and communication models."""
+
+from repro.distributed.comm import (
+    CommReport,
+    communication_sweep,
+    edge_cut_communication,
+    path_partition_communication,
+)
+from repro.distributed.path_partition import (
+    PathPartition,
+    partition_path,
+    path_communication,
+)
+from repro.distributed.simulate import (
+    ClusterSpec,
+    RoundReport,
+    scaling_sweep,
+    simulate_edge_cut_round,
+    simulate_path_round,
+)
+
+__all__ = [
+    "CommReport",
+    "edge_cut_communication",
+    "path_partition_communication",
+    "communication_sweep",
+    "PathPartition",
+    "partition_path",
+    "path_communication",
+    "ClusterSpec",
+    "RoundReport",
+    "simulate_edge_cut_round",
+    "simulate_path_round",
+    "scaling_sweep",
+]

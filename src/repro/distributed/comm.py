@@ -1,0 +1,72 @@
+"""Communication-cost comparison: edge-cut baseline vs path partition.
+
+For a conventional edge-cut node partition, every cut edge forces the
+owner of each endpoint to ship that node's embedding to the other
+partition every aggregation round, and the set of partition pairs that
+must talk approaches all-to-all as k grows.  MEGA's path partition
+communicates only between adjacent chunks (Section IV-B6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.core.path import PathRepresentation
+from repro.distributed.path_partition import path_communication
+from repro.graph.graph import Graph
+from repro.graph.partition import cut_edges, edge_cut_partition
+
+
+@dataclass(frozen=True)
+class CommReport:
+    """Per-round communication for one layout."""
+
+    method: str
+    partitions: int
+    communication_pairs: int   # distinct partition pairs that exchange data
+    volume_rows: int           # embedding rows shipped per round
+
+
+def edge_cut_communication(graph: Graph, k: int,
+                           seed: int = 0) -> CommReport:
+    """Communication of a balanced BFS-grown edge-cut partition."""
+    rng = np.random.default_rng(seed)
+    assignment = edge_cut_partition(graph, k, rng)
+    pairs: Set[Tuple[int, int]] = set()
+    volume = 0
+    for s, d in zip(graph.src.tolist(), graph.dst.tolist()):
+        a, b = int(assignment[s]), int(assignment[d])
+        if a != b:
+            pairs.add((min(a, b), max(a, b)))
+            volume += 2  # each endpoint row crosses once per direction
+    return CommReport(method="edge_cut", partitions=k,
+                      communication_pairs=len(pairs), volume_rows=volume)
+
+
+def path_partition_communication(path_rep: PathRepresentation,
+                                 k: int) -> CommReport:
+    """Communication of MEGA's contiguous path partition."""
+    report = path_communication(path_rep, k)
+    return CommReport(method="path", partitions=k,
+                      communication_pairs=report["communication_pairs"],
+                      volume_rows=report["halo_rows"])
+
+
+def communication_sweep(graph: Graph, path_rep: PathRepresentation,
+                        ks: List[int], seed: int = 0) -> List[dict]:
+    """Side-by-side sweep over partition counts (the §IV-B6 analysis)."""
+    rows = []
+    for k in ks:
+        base = edge_cut_communication(graph, k, seed=seed)
+        mega = path_partition_communication(path_rep, k)
+        rows.append({
+            "k": k,
+            "edge_cut_pairs": base.communication_pairs,
+            "edge_cut_volume": base.volume_rows,
+            "path_pairs": mega.communication_pairs,
+            "path_volume": mega.volume_rows,
+        })
+    return rows

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the MEGA reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor or graph shapes are inconsistent."""
+
+
+class GraphError(ReproError):
+    """Raised on malformed graph structures (bad indices, empty sets, ...)."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a traversal schedule violates its invariants."""
+
+
+class ConfigError(ReproError):
+    """Raised on invalid configuration values."""
+
+
+class SimulationError(ReproError):
+    """Raised by the GPU memory simulator on invalid traces or device specs."""

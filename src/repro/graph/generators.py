@@ -1,0 +1,228 @@
+"""Random-graph generators used by datasets, tests, and benchmarks.
+
+All generators take an explicit ``numpy.random.Generator`` and always
+return connected graphs unless stated otherwise (molecular graphs are
+connected by construction; Erdős–Rényi draws are patched into one
+component so traversal schedules cover every vertex).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, from_edge_list
+from repro.graph.traversal import connected_components
+
+
+def erdos_renyi(rng: np.random.Generator, num_nodes: int, p: float,
+                ensure_connected: bool = True) -> Graph:
+    """G(n, p) random graph."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    iu, ju = np.triu_indices(num_nodes, k=1)
+    mask = rng.random(len(iu)) < p
+    edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    g = from_edge_list(edges, num_nodes=num_nodes)
+    if ensure_connected:
+        g = _connect_components(rng, g)
+    return g
+
+
+def erdos_renyi_with_sparsity(rng: np.random.Generator, num_nodes: int,
+                              sparsity: float) -> Graph:
+    """Random graph whose edge count matches a target sparsity ratio.
+
+    Sparsity here follows the paper's definition (Section IV-B1): actual
+    edges divided by the complete graph's edge count.  ``sparsity=1``
+    returns the complete graph.
+    """
+    if not 0.0 < sparsity <= 1.0:
+        raise GraphError(f"sparsity must be in (0, 1], got {sparsity}")
+    full = num_nodes * (num_nodes - 1) // 2
+    target_edges = max(num_nodes - 1, int(round(sparsity * full)))
+    target_edges = min(target_edges, full)
+    iu, ju = np.triu_indices(num_nodes, k=1)
+    chosen = rng.choice(full, size=target_edges, replace=False)
+    g = from_edge_list(zip(iu[chosen].tolist(), ju[chosen].tolist()),
+                       num_nodes=num_nodes)
+    return _connect_components(rng, g)
+
+
+def barabasi_albert(rng: np.random.Generator, num_nodes: int,
+                    attach: int = 2) -> Graph:
+    """Preferential-attachment graph (skewed, power-law-ish degrees)."""
+    if attach < 1 or attach >= num_nodes:
+        raise GraphError(f"attach must be in [1, num_nodes), got {attach}")
+    edges: List[Tuple[int, int]] = []
+    targets = list(range(attach))
+    repeated: List[int] = []
+    for v in range(attach, num_nodes):
+        for t in targets:
+            edges.append((v, t))
+        repeated.extend(targets)
+        repeated.extend([v] * attach)
+        # Sample next targets proportionally to degree.
+        targets = list(rng.choice(repeated, size=attach, replace=False)) \
+            if len(set(repeated)) >= attach else list(set(repeated))[:attach]
+    return from_edge_list(set((min(a, b), max(a, b)) for a, b in edges),
+                          num_nodes=num_nodes)
+
+
+def ring_graph(num_nodes: int) -> Graph:
+    """Simple cycle over ``num_nodes`` vertices."""
+    if num_nodes < 3:
+        raise GraphError(f"a ring needs at least 3 nodes, got {num_nodes}")
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    return from_edge_list(edges, num_nodes=num_nodes)
+
+
+def circular_skip_link(num_nodes: int, skip: int) -> Graph:
+    """CSL graph: a ring plus chords of fixed skip length.
+
+    This is the construction behind the CSL dataset (Murphy et al.): the
+    isomorphism class is determined by ``skip``, making the graphs a
+    stress test for expressivity.
+    """
+    if not 2 <= skip < num_nodes - 1:
+        raise GraphError(
+            f"skip must be in [2, num_nodes-1), got {skip} for n={num_nodes}")
+    edges = {(i, (i + 1) % num_nodes) for i in range(num_nodes)}
+    for i in range(num_nodes):
+        j = (i + skip) % num_nodes
+        edges.add((min(i, j), max(i, j)))
+    canon = {(min(a, b), max(a, b)) for a, b in edges}
+    return from_edge_list(sorted(canon), num_nodes=num_nodes)
+
+
+def random_tree(rng: np.random.Generator, num_nodes: int) -> Graph:
+    """Uniform random tree via random attachment."""
+    edges = [(v, int(rng.integers(0, v))) for v in range(1, num_nodes)]
+    return from_edge_list(edges, num_nodes=num_nodes)
+
+
+def molecular_like(rng: np.random.Generator, num_nodes: int,
+                   ring_fraction: float = 0.4) -> Graph:
+    """Sparse connected graph shaped like a small molecule.
+
+    Built as a random tree (the molecular skeleton) plus a few extra
+    edges closing small rings, giving mean degree ≈ 2–2.5 and low degree
+    variance — the regime of ZINC/AQSOL in Tables II/III.
+    """
+    g = random_tree(rng, num_nodes)
+    edges = set(zip(g.src.tolist(), g.dst.tolist()))
+    canon = {(min(a, b), max(a, b)) for a, b in edges}
+    extra = int(round(ring_fraction * num_nodes * 0.25))
+    attempts = 0
+    while extra > 0 and attempts < 50 * max(extra, 1):
+        attempts += 1
+        u = int(rng.integers(0, num_nodes))
+        span = int(rng.integers(3, 7))  # ring sizes 3..6 like real molecules
+        v = min(num_nodes - 1, u + span)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key not in canon:
+            canon.add(key)
+            extra -= 1
+    return from_edge_list(sorted(canon), num_nodes=num_nodes)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """2-D lattice; useful for deterministic traversal tests."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return from_edge_list(edges, num_nodes=rows * cols)
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Hub-and-spoke graph: the extreme skewed-degree case."""
+    edges = [(0, i) for i in range(1, num_leaves + 1)]
+    return from_edge_list(edges, num_nodes=num_leaves + 1)
+
+
+def stochastic_block_model(rng: np.random.Generator,
+                           block_sizes: List[int],
+                           intra_p: float, inter_p: float,
+                           ensure_connected: bool = True) -> Graph:
+    """SBM: dense blocks, sparse cross-block edges (community structure).
+
+    The regime where locality-aware scheduling shines: most edges live
+    inside blocks, so a path that sweeps block by block keeps its band
+    full.
+    """
+    if not block_sizes:
+        raise GraphError("need at least one block")
+    if not (0 <= inter_p <= 1 and 0 <= intra_p <= 1):
+        raise GraphError("probabilities must be in [0, 1]")
+    labels = np.concatenate([
+        np.full(size, b, dtype=np.int64)
+        for b, size in enumerate(block_sizes)])
+    n = len(labels)
+    iu, ju = np.triu_indices(n, k=1)
+    same = labels[iu] == labels[ju]
+    prob = np.where(same, intra_p, inter_p)
+    keep = rng.random(len(iu)) < prob
+    g = from_edge_list(zip(iu[keep].tolist(), ju[keep].tolist()),
+                       num_nodes=n)
+    if ensure_connected:
+        g = _connect_components(rng, g)
+    return g
+
+
+def watts_strogatz(rng: np.random.Generator, num_nodes: int,
+                   k: int = 4, rewire_p: float = 0.1) -> Graph:
+    """Small-world graph: ring lattice with randomly rewired chords.
+
+    High clustering with short diameters — a hard case for bandwidth-
+    style orderings, useful in the reordering ablations.
+    """
+    if k < 2 or k % 2 != 0 or k >= num_nodes:
+        raise GraphError(
+            f"k must be even, >= 2 and < num_nodes; got {k} for "
+            f"n={num_nodes}")
+    if not 0.0 <= rewire_p <= 1.0:
+        raise GraphError(f"rewire_p must be in [0, 1], got {rewire_p}")
+    edges = set()
+    for i in range(num_nodes):
+        for offset in range(1, k // 2 + 1):
+            j = (i + offset) % num_nodes
+            edges.add((min(i, j), max(i, j)))
+    rewired = set()
+    for (a, b) in sorted(edges):
+        if rng.random() < rewire_p:
+            for _ in range(20):
+                c = int(rng.integers(0, num_nodes))
+                key = (min(a, c), max(a, c))
+                if c != a and key not in edges and key not in rewired:
+                    rewired.add(key)
+                    break
+            else:
+                rewired.add((a, b))
+        else:
+            rewired.add((a, b))
+    return from_edge_list(sorted(rewired), num_nodes=num_nodes)
+
+
+def _connect_components(rng: np.random.Generator, g: Graph) -> Graph:
+    """Add one edge per extra component so the graph is connected."""
+    comps = connected_components(g)
+    if len(comps) <= 1:
+        return g
+    extra = []
+    anchor = comps[0]
+    for comp in comps[1:]:
+        u = int(rng.choice(anchor))
+        v = int(rng.choice(comp))
+        extra.append((u, v))
+    src = np.concatenate([g.src, np.array([e[0] for e in extra], np.int64)])
+    dst = np.concatenate([g.dst, np.array([e[1] for e in extra], np.int64)])
+    return Graph(g.num_nodes, src, dst, undirected=g.undirected)

@@ -1,0 +1,95 @@
+"""Structural graph metrics (clustering, assortativity, diameter).
+
+Used by the dataset statistics, the edge-importance heuristics, and the
+test suite's cross-checks against networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distances
+
+
+def triangle_count(graph: Graph) -> int:
+    """Number of triangles in the graph."""
+    adjacency = [set(a.tolist()) for a in graph.adjacency_lists()]
+    total = 0
+    for u, v in zip(graph.src.tolist(), graph.dst.tolist()):
+        if u == v:
+            continue
+        total += len(adjacency[u] & adjacency[v])
+    return total // 3
+
+
+def clustering_coefficient(graph: Graph, v: Optional[int] = None) -> float:
+    """Local clustering of ``v``, or the graph average when ``v`` is None."""
+    adjacency = [set(a.tolist()) for a in graph.adjacency_lists()]
+
+    def local(u: int) -> float:
+        neigh = adjacency[u] - {u}
+        k = len(neigh)
+        if k < 2:
+            return 0.0
+        links = sum(1 for a in neigh for b in adjacency[a]
+                    if b in neigh and b > a)
+        return 2.0 * links / (k * (k - 1))
+
+    if v is not None:
+        if not 0 <= v < graph.num_nodes:
+            raise GraphError(f"vertex {v} out of range")
+        return local(v)
+    if graph.num_nodes == 0:
+        return 0.0
+    return float(np.mean([local(u) for u in range(graph.num_nodes)]))
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of endpoint degrees over edges.
+
+    Positive: hubs link to hubs (assortative); negative: hubs link to
+    leaves (disassortative, typical of stars and molecules).
+    """
+    if graph.num_edges == 0:
+        return 0.0
+    deg = graph.degrees().astype(float)
+    s, d = graph.directed_edges()
+    x, y = deg[s], deg[d]
+    sx, sy = x.std(), y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def diameter(graph: Graph, sample: Optional[int] = None,
+             rng: Optional[np.random.Generator] = None) -> int:
+    """Longest shortest path within the largest component.
+
+    With ``sample`` set, eccentricities are evaluated from a random
+    vertex subset (a lower bound, adequate for statistics).
+    """
+    if graph.num_nodes == 0:
+        raise GraphError("empty graph has no diameter")
+    sources = range(graph.num_nodes)
+    if sample is not None and sample < graph.num_nodes:
+        rng = rng or np.random.default_rng(0)
+        sources = rng.choice(graph.num_nodes, size=sample, replace=False)
+    best = 0
+    for v in sources:
+        dist = bfs_distances(graph, int(v))
+        best = max(best, int(dist.max()))
+    return best
+
+
+def effective_bandwidth(graph: Graph, quantile: float = 0.9) -> float:
+    """Index-distance quantile over edges — robust locality measure."""
+    if graph.num_edges == 0:
+        return 0.0
+    if not 0.0 < quantile <= 1.0:
+        raise GraphError(f"quantile must be in (0, 1], got {quantile}")
+    gaps = np.abs(graph.src - graph.dst)
+    return float(np.quantile(gaps, quantile))

@@ -1,0 +1,27 @@
+"""Heterogeneous-graph extension (paper §Discussion, HAN-style).
+
+Multiple per-type traversal paths merged hierarchically: intra-type
+edges run through the usual diagonal band, cross-type edges through a
+second aggregation stage.
+"""
+
+from repro.hetero.hetero import HeteroGraph, random_hetero_graph
+from repro.hetero.model import HeteroGNN
+from repro.hetero.paths import (
+    HeteroPathPlan,
+    build_hetero_plan,
+    hetero_schedule_report,
+    order_types_by_connectivity,
+)
+from repro.hetero.runtime import HeteroMegaRuntime
+
+__all__ = [
+    "HeteroGraph",
+    "random_hetero_graph",
+    "HeteroPathPlan",
+    "build_hetero_plan",
+    "order_types_by_connectivity",
+    "hetero_schedule_report",
+    "HeteroMegaRuntime",
+    "HeteroGNN",
+]

@@ -1,0 +1,350 @@
+"""Simulated GPU execution plans for each (model, runtime) pair.
+
+A *kernel plan* replays, on the :mod:`repro.memsim` device, the sequence
+of GPU kernels one training batch launches — with the actual index
+arrays the runtime uses, so the simulated cache/coalescing behaviour is
+produced by the real schedules, not by assumption.
+
+Baseline plans model the DGL pipeline the paper profiles: per-batch
+``cub`` index sort and H2D memcpy, per-layer dense ``sgemm`` projections,
+an ``apply_edges`` scatter kernel reading two scattered node rows per
+message, and two ``update_all`` gather kernels with atomic stores.
+
+MEGA plans keep the same neural operations (on the expanded path buffer,
+length L ≥ N — the paper's accepted redundancy), but replace graph
+kernels with banded sweeps plus a sequential position→node reduction,
+and need no per-batch sort (the schedule is precomputed on the CPU).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.memsim.access import (
+    AccessTrace,
+    MemoryLayout,
+    row_gather_trace,
+    sequential_trace,
+)
+from repro.memsim.device import GPUDevice, KernelStats
+from repro.memsim.kernels import FLOAT_BYTES, cub_sort, memcpy, sgemm
+from repro.memsim.profiler import Profiler
+from repro.models.runtime import AggregationRuntime, BaselineRuntime, MegaRuntime
+
+# Training-time multiplier: backward ≈ 2x forward for these models.
+BACKWARD_FACTOR = 3.0
+
+
+def _interleave(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty(2 * len(a), dtype=np.int64)
+    out[0::2] = a
+    out[1::2] = b
+    return out
+
+
+def make_layout(num_nodes: int, num_messages: int, path_length: int,
+                dim: int, param_count: int) -> MemoryLayout:
+    """Allocate the regions one training batch touches."""
+    layout = MemoryLayout()
+    row = dim * FLOAT_BYTES
+    layout.allocate("nodes", max(num_nodes, 1) * row)
+    layout.allocate("edges", max(num_messages, 1) * row)
+    layout.allocate("path", max(path_length, 1) * row)
+    layout.allocate("weights", max(param_count, 1) * FLOAT_BYTES)
+    layout.allocate("workspace", 8 * (num_nodes + num_messages
+                                      + path_length + 1) * row + 4096)
+    return layout
+
+
+def _imbalance(msg_dst: np.ndarray, num_nodes: int) -> float:
+    """Warp-imbalance factor from the destination-degree skew."""
+    if len(msg_dst) == 0:
+        return 1.0
+    counts = np.bincount(msg_dst, minlength=num_nodes)
+    counts = counts[counts > 0]
+    if counts.size == 0:
+        return 1.0
+    return float(np.clip(counts.max() / counts.mean(), 1.0, 3.0) ** 0.5)
+
+
+# ----------------------------------------------------------------------
+# Baseline (DGL-style) kernels
+# ----------------------------------------------------------------------
+def _baseline_apply_edges(device: GPUDevice, layout: MemoryLayout,
+                          rt: BaselineRuntime, dim: int,
+                          operands: int = 2) -> KernelStats:
+    """apply_edges: read ``operands`` scattered node rows per message.
+
+    Edge-feature rows are reached through the edge-id indirection left
+    by the destination sort, so they are scattered too — the redundant
+    data transactions Section II-B profiles.
+    """
+    row = dim * FLOAT_BYTES
+    if operands == 2:
+        rows = _interleave(rt.msg_dst, rt.msg_src)
+    else:
+        rows = rt.msg_src
+    loads = AccessTrace.concatenate([
+        row_gather_trace(layout.base("nodes"), rows, row),
+        row_gather_trace(layout.base("edges"), rt.msg_edge, row),
+    ])
+    stores = sequential_trace(layout.base("edges"), rt.num_messages * row)
+    flops = float(rt.num_messages * dim * (operands + 1))
+    return device.run_kernel("dgl::scatter", flops, loads=loads, stores=stores,
+                             parallel_items=rt.num_messages * dim)
+
+
+def _baseline_edge_op(device: GPUDevice, layout: MemoryLayout,
+                      rt: BaselineRuntime, dim: int) -> KernelStats:
+    """Edge-only apply_edges: per-message op through the id indirection."""
+    row = dim * FLOAT_BYTES
+    loads = row_gather_trace(layout.base("edges"), rt.msg_edge, row)
+    stores = sequential_trace(layout.base("edges"), rt.num_messages * row)
+    flops = float(rt.num_messages * dim * 2)
+    return device.run_kernel("dgl::scatter", flops, loads=loads, stores=stores,
+                             parallel_items=rt.num_messages * dim)
+
+
+def _baseline_update_all(device: GPUDevice, layout: MemoryLayout,
+                         rt: BaselineRuntime, dim: int,
+                         with_src: bool) -> KernelStats:
+    """update_all: edge values (× source rows) reduced onto dst nodes."""
+    row = dim * FLOAT_BYTES
+    parts = [sequential_trace(layout.base("edges"), rt.num_messages * row)]
+    if with_src:
+        parts.append(row_gather_trace(layout.base("nodes"), rt.msg_src, row))
+    loads = AccessTrace.concatenate(parts)
+    stores = row_gather_trace(layout.base("nodes"), rt.msg_dst, row)
+    flops = float(rt.num_messages * dim * (3 if with_src else 2))
+    return device.run_kernel(
+        "dgl::gather", flops, loads=loads, stores=stores,
+        atomic_stores=True,
+        imbalance=_imbalance(rt.msg_dst, rt.num_nodes),
+        parallel_items=rt.num_messages * dim)
+
+
+def _elementwise(device: GPUDevice, layout: MemoryLayout, region: str,
+                 rows: int, dim: int, flops_per_element: float = 6.0
+                 ) -> KernelStats:
+    nbytes = max(rows, 1) * dim * FLOAT_BYTES
+    loads = sequential_trace(layout.base(region), nbytes)
+    stores = sequential_trace(layout.base(region), nbytes)
+    return device.run_kernel("elementwise",
+                             float(rows * dim * flops_per_element),
+                             loads=loads, stores=stores,
+                             parallel_items=rows * dim)
+
+
+# ----------------------------------------------------------------------
+# MEGA kernels
+# ----------------------------------------------------------------------
+_BAND_TILE = 128  # path positions per thread block
+
+
+def _band_flops(rt: MegaRuntime, dim: int, per_slot: float) -> float:
+    """Band compute includes the masked slots: the regular-access tax."""
+    slots = rt.path_length * (2 * rt.window + 1)
+    return float(slots * dim * per_slot)
+
+
+def _band_sweep_loads(layout: MemoryLayout, rt: MegaRuntime,
+                      row: int, with_edges: bool) -> AccessTrace:
+    """Tiled sequential sweep of the path buffer.
+
+    Each thread block stages a contiguous tile of path rows plus a
+    2ω halo into shared memory, so external traffic is one sequential
+    pass with a small halo-overlap factor.
+    """
+    halo = 1.0 + 2.0 * rt.window / _BAND_TILE
+    nbytes = int(rt.path_length * row * halo)
+    parts = [sequential_trace(layout.base("path"), nbytes)]
+    if with_edges:
+        parts.append(sequential_trace(layout.base("edges"),
+                                      rt.num_messages * row))
+    return AccessTrace.concatenate(parts)
+
+
+def _mega_band_kernel(device: GPUDevice, layout: MemoryLayout,
+                      rt: MegaRuntime, dim: int, operands: int,
+                      name: str = "mega::band") -> KernelStats:
+    """Banded edge computation over a tiled sequential path sweep."""
+    row = dim * FLOAT_BYTES
+    loads = _band_sweep_loads(layout, rt, row, with_edges=True)
+    stores = sequential_trace(layout.base("edges"), rt.num_messages * row)
+    flops = _band_flops(rt, dim, per_slot=operands + 1)
+    return device.run_kernel(name, flops, loads=loads, stores=stores,
+                             parallel_items=rt.path_length * dim)
+
+
+def _mega_band_reduce(device: GPUDevice, layout: MemoryLayout,
+                      rt: MegaRuntime, dim: int,
+                      with_src: bool) -> KernelStats:
+    """Band aggregation: per-position reduction along the diagonal.
+
+    Messages are destination-position sorted, so the store side is a
+    segmented (atomic-free) sequential sweep over path positions.
+    """
+    row = dim * FLOAT_BYTES
+    loads = _band_sweep_loads(layout, rt, row, with_edges=True) if with_src \
+        else AccessTrace.concatenate(
+            [sequential_trace(layout.base("edges"), rt.num_messages * row)])
+    stores = sequential_trace(layout.base("path"), rt.path_length * row)
+    flops = _band_flops(rt, dim, per_slot=3 if with_src else 2)
+    return device.run_kernel("mega::band", flops, loads=loads, stores=stores,
+                             parallel_items=rt.path_length * dim)
+
+
+def _mega_sync(device: GPUDevice, layout: MemoryLayout, rt: MegaRuntime,
+               dim: int) -> KernelStats:
+    """Position→node reduction synchronising repeated appearances."""
+    row = dim * FLOAT_BYTES
+    loads = sequential_trace(layout.base("path"), rt.path_length * row)
+    stores = row_gather_trace(layout.base("nodes"), rt.path, row)
+    return device.run_kernel("mega::reduce",
+                             float(rt.path_length * dim * 2),
+                             loads=loads, stores=stores,
+                             parallel_items=rt.path_length * dim)
+
+
+# ----------------------------------------------------------------------
+# Per-model batch plans
+# ----------------------------------------------------------------------
+def simulate_batch(model_name: str, runtime: AggregationRuntime,
+                   device: GPUDevice, dim: int, num_layers: int,
+                   profiler: Optional[Profiler] = None,
+                   include_h2d: bool = True) -> Profiler:
+    """Replay one forward batch of ``model_name`` under ``runtime``.
+
+    ``model_name`` is ``"GCN"`` or ``"GT"``.  Returns the profiler with
+    all kernel records appended.
+    """
+    if model_name not in ("GCN", "GT", "GAT"):
+        raise SimulationError(f"unknown model {model_name!r}")
+    profiler = profiler or Profiler()
+    is_mega = isinstance(runtime, MegaRuntime)
+    n = runtime.num_nodes
+    m = runtime.num_messages
+    length = runtime.path_length if is_mega else n
+    params_per_layer = {"GCN": 5, "GT": 14, "GAT": 2}[model_name]
+    params = params_per_layer * dim * dim * num_layers
+    layout = make_layout(n, m, length if is_mega else 1, dim, params)
+
+    if include_h2d:
+        # Features + topology (baseline) or path buffers (MEGA).
+        nbytes = (length + m) * dim * FLOAT_BYTES + m * 16
+        profiler.record(memcpy(device, nbytes))
+    if not is_mega:
+        # DGL sorts edge indices per batch to fetch neighbours quickly.
+        profiler.record(cub_sort(device, layout, m))
+
+    node_rows = length if is_mega else n  # neural ops run on the path copy
+    for _ in range(num_layers):
+        if model_name == "GCN":
+            _plan_gcn_layer(profiler, device, layout, runtime, dim,
+                            node_rows, is_mega)
+        elif model_name == "GAT":
+            _plan_gat_layer(profiler, device, layout, runtime, dim,
+                            node_rows, is_mega)
+        else:
+            _plan_gt_layer(profiler, device, layout, runtime, dim,
+                           node_rows, is_mega)
+    # Readout + head.
+    profiler.record(sgemm(device, layout, max(n // 4, 1), dim, dim))
+    profiler.record(_elementwise(device, layout, "nodes", n, dim))
+    return profiler
+
+
+def _plan_gcn_layer(prof: Profiler, device: GPUDevice, layout: MemoryLayout,
+                    rt: AggregationRuntime, dim: int, node_rows: int,
+                    is_mega: bool) -> None:
+    # Projections A, B, U, V on node rows; C on message rows.
+    for _ in range(4):
+        prof.record(sgemm(device, layout, node_rows, dim, dim))
+    prof.record(sgemm(device, layout, rt.num_messages, dim, dim))
+    if is_mega:
+        # Edge update + sigmoid fused into one banded sweep; the two
+        # gated reductions sweep the band again; one sync kernel.
+        prof.record(_mega_band_kernel(device, layout, rt, dim, operands=2))
+        prof.record(_mega_band_reduce(device, layout, rt, dim, with_src=True))
+        prof.record(_mega_band_reduce(device, layout, rt, dim, with_src=False))
+        prof.record(_mega_sync(device, layout, rt, dim))
+    else:
+        prof.record(_baseline_apply_edges(device, layout, rt, dim, operands=2))
+        prof.record(_elementwise(device, layout, "edges", rt.num_messages, dim))
+        prof.record(_baseline_update_all(device, layout, rt, dim, with_src=True))
+        prof.record(_baseline_update_all(device, layout, rt, dim, with_src=False))
+    # BN/ReLU/residual on nodes and edges.
+    prof.record(_elementwise(device, layout, "nodes", node_rows, dim))
+    prof.record(_elementwise(device, layout, "edges", rt.num_messages, dim))
+
+
+def _plan_gat_layer(prof: Profiler, device: GPUDevice, layout: MemoryLayout,
+                    rt: AggregationRuntime, dim: int, node_rows: int,
+                    is_mega: bool) -> None:
+    """GAT: one projection, one score scatter, softmax + weighted gather."""
+    prof.record(sgemm(device, layout, node_rows, dim, dim))
+    prof.record(_elementwise(device, layout, "nodes", node_rows, dim))
+    if is_mega:
+        prof.record(_mega_band_kernel(device, layout, rt, dim, operands=2))
+        prof.record(_mega_band_reduce(device, layout, rt, dim,
+                                      with_src=False))
+        prof.record(_mega_band_reduce(device, layout, rt, dim,
+                                      with_src=True))
+        prof.record(_mega_sync(device, layout, rt, dim))
+    else:
+        prof.record(_baseline_apply_edges(device, layout, rt, dim,
+                                          operands=2))
+        prof.record(_baseline_update_all(device, layout, rt, dim,
+                                         with_src=False))
+        prof.record(_baseline_update_all(device, layout, rt, dim,
+                                         with_src=True))
+    prof.record(_elementwise(device, layout, "nodes", node_rows, dim))
+
+
+def _plan_gt_layer(prof: Profiler, device: GPUDevice, layout: MemoryLayout,
+                   rt: AggregationRuntime, dim: int, node_rows: int,
+                   is_mega: bool) -> None:
+    # Q, K, V, O on node rows; E, O_e on message rows; FFNs on both.
+    for _ in range(4):
+        prof.record(sgemm(device, layout, node_rows, dim, dim))
+    for _ in range(2):
+        prof.record(sgemm(device, layout, rt.num_messages, dim, dim))
+    # FFN h: d->2d->d ; FFN e: d->2d->d.
+    for _ in range(2):
+        prof.record(sgemm(device, layout, node_rows, 2 * dim, dim))
+    for _ in range(2):
+        prof.record(sgemm(device, layout, rt.num_messages, 2 * dim, dim))
+    if is_mega:
+        # Score computation, edge mixing and V-weighting fuse into two
+        # banded sweeps; softmax + aggregation sweep the band again.
+        prof.record(_mega_band_kernel(device, layout, rt, dim, operands=2))
+        prof.record(_mega_band_kernel(device, layout, rt, dim, operands=1))
+        prof.record(_mega_band_reduce(device, layout, rt, dim, with_src=False))
+        prof.record(_mega_band_reduce(device, layout, rt, dim, with_src=True))
+        prof.record(_mega_sync(device, layout, rt, dim))
+    else:
+        # Five apply_edges scatters (Table I): two fetch node rows, three
+        # are edge-space ops routed through the edge-id indirection.
+        prof.record(_baseline_apply_edges(device, layout, rt, dim, operands=2))
+        prof.record(_baseline_edge_op(device, layout, rt, dim))
+        prof.record(_baseline_edge_op(device, layout, rt, dim))
+        prof.record(_baseline_apply_edges(device, layout, rt, dim, operands=1))
+        prof.record(_baseline_edge_op(device, layout, rt, dim))
+        # ... and the two softmax/aggregate gathers.
+        prof.record(_baseline_update_all(device, layout, rt, dim, with_src=False))
+        prof.record(_baseline_update_all(device, layout, rt, dim, with_src=True))
+    # Norm/residual + FFN activations.
+    prof.record(_elementwise(device, layout, "nodes", node_rows, dim))
+    prof.record(_elementwise(device, layout, "edges", rt.num_messages, dim))
+
+
+def batch_time(model_name: str, runtime: AggregationRuntime,
+               device: GPUDevice, dim: int, num_layers: int,
+               training: bool = True) -> float:
+    """Simulated seconds for one batch (forward, or full training step)."""
+    prof = simulate_batch(model_name, runtime, device, dim, num_layers)
+    factor = BACKWARD_FACTOR if training else 1.0
+    return prof.total_time * factor

@@ -1,0 +1,15 @@
+"""Profiling harness reproducing the Section III-A / IV-B measurements."""
+
+from repro.profiling.workload import (
+    cached_dataset,
+    cached_paths,
+    profile_configuration,
+    attention_time_ratio,
+)
+
+__all__ = [
+    "cached_dataset",
+    "cached_paths",
+    "profile_configuration",
+    "attention_time_ratio",
+]

@@ -1,0 +1,252 @@
+"""Functional (stateless) operations for the autograd engine.
+
+These cover the activations, losses, and — most importantly for a GNN
+library — the *segment* operations that implement message passing:
+``gather_rows`` (node → edge scatter in the paper's terminology) and
+``segment_sum``/``segment_softmax`` (edge → node gather).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# Activations
+# ----------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    out_data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (x.data > 0))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, slope: float = 0.01) -> Tensor:
+    out_data = np.where(x.data > 0, x.data, slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.where(x.data > 0, 1.0, slope))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out_data = np.where(x.data > 0, x.data, exp_part)
+
+    def backward(grad: np.ndarray) -> None:
+        slope = np.where(x.data > 0, 1.0, exp_part + alpha)
+        x._accumulate(grad * slope)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data ** 3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * x.data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        sech2 = 1.0 - tanh_inner ** 2
+        d_inner = c * (1.0 + 3 * 0.044715 * x.data ** 2)
+        slope = 0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner
+        x._accumulate(grad * slope)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softplus(x: Tensor) -> Tensor:
+    out_data = np.logaddexp(0.0, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad / (1.0 + np.exp(-x.data)))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    out_data = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60.0, 60.0)))
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - out_data ** 2))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+
+    def backward(grad: np.ndarray) -> None:
+        soft = np.exp(out_data)
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Structure ops
+# ----------------------------------------------------------------------
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, splits, axis=axis)
+        for t, piece in zip(tensors, pieces):
+            t._accumulate(piece)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for t, piece in zip(tensors, pieces):
+            t._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    cond = np.asarray(cond, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * cond)
+        b._accumulate(grad * ~cond)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Gather / segment operations (the graph-operation substrate)
+# ----------------------------------------------------------------------
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``x[index]`` with accumulating backward.
+
+    This is the "scatter to edges" primitive: fetching source/destination
+    node embeddings for every edge.  Indices may repeat.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    return x[index]
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets.
+
+    This is the "gather to nodes" primitive: reducing edge messages onto
+    destination nodes.  ``segment_ids`` need not be sorted.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.shape[0] != x.shape[0]:
+        raise ShapeError(
+            f"segment_ids length {segment_ids.shape[0]} != rows {x.shape[0]}")
+    out_shape = (num_segments,) + x.shape[1:]
+    out_data = np.zeros(out_shape, dtype=x.data.dtype)
+    np.add.at(out_data, segment_ids, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[segment_ids])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(x.data.dtype)
+    counts = np.maximum(counts, 1.0)
+    total = segment_sum(x, segment_ids, num_segments)
+    return total * Tensor(1.0 / counts.reshape((-1,) + (1,) * (x.ndim - 1)))
+
+
+def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int,
+                fill: float = -1e30) -> Tensor:
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + x.shape[1:]
+    out_data = np.full(out_shape, fill, dtype=x.data.dtype)
+    np.maximum.at(out_data, segment_ids, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        mask = (x.data == out_data[segment_ids])
+        # Split ties evenly within each segment.
+        tie_counts = np.zeros(out_shape, dtype=x.data.dtype)
+        np.add.at(tie_counts, segment_ids, mask.astype(x.data.dtype))
+        tie_counts = np.maximum(tie_counts, 1.0)
+        x._accumulate(mask * grad[segment_ids] / tie_counts[segment_ids])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_softmax(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax over rows of ``x`` grouped by segment (attention weights)."""
+    seg_max = segment_max(x, segment_ids, num_segments)
+    shifted = x - seg_max[np.asarray(segment_ids, dtype=np.int64)]
+    exp = shifted.exp()
+    denom = segment_sum(exp, segment_ids, num_segments)
+    denom_safe = denom + 1e-16
+    return exp / denom_safe[np.asarray(segment_ids, dtype=np.int64)]
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target: Tensor) -> Tensor:
+    return (pred - target).abs().mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of ``logits`` (N, C) against integer ``labels``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be 2-D, got shape {logits.shape}")
+    logp = log_softmax(logits, axis=-1)
+    picked = logp[np.arange(len(labels)), labels]
+    return -picked.mean()
+
+
+def accuracy(logits: Tensor, labels: np.ndarray) -> float:
+    labels = np.asarray(labels, dtype=np.int64)
+    pred = logits.data.argmax(axis=-1)
+    return float((pred == labels).mean())

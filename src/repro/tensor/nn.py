@@ -1,0 +1,240 @@
+"""Neural-network module system on top of the autograd engine.
+
+Mirrors the small subset of ``torch.nn`` the paper's models need:
+``Linear``, ``LayerNorm``, ``BatchNorm1d``, ``Embedding``, ``Dropout``,
+and a ``Module`` base with parameter traversal and train/eval modes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor import init
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a module."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with recursive parameter and submodule registration."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    # -- traversal ------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total trainable parameter count (the paper's 'parameter volume')."""
+        return sum(p.size for p in self.parameters())
+
+    # -- modes ----------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", True)
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", False)
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict -----------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.shape:
+                raise ShapeError(
+                    f"parameter {name}: shape {value.shape} != {param.shape}")
+            param.data = value.astype(param.data.dtype, copy=True)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` (W stored as (in, out))."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 bias: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform(rng, (in_features, out_features)), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones((dim,)), name="gamma")
+        self.beta = Parameter(init.zeros((dim,)), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        normed = centred / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the row dimension with running stats."""
+
+    def __init__(self, dim: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((dim,)), name="gamma")
+        self.beta = Parameter(init.zeros((dim,)), name="beta")
+        self.running_mean = np.zeros(dim)
+        self.running_var = np.ones(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            centred = x - mean
+            var = (centred * centred).mean(axis=0, keepdims=True)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mean.data.ravel())
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var.data.ravel())
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            centred = x - mean
+            var = Tensor(self.running_var.reshape(1, -1))
+        normed = centred / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.normal(0, 0.1, size=(num_embeddings, dim)),
+                                name="weight")
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise ShapeError(
+                f"embedding ids out of range [0, {self.num_embeddings})")
+        return self.weight[ids]
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.0, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self.rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: List[Module] = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations (readout head)."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int,
+                 num_layers: int = 2, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        from repro.tensor import functional as F
+        self._relu = F.relu
+        rng = rng or np.random.default_rng(0)
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
+        self.linears: List[Linear] = []
+        for i in range(num_layers):
+            layer = Linear(dims[i], dims[i + 1], rng=rng)
+            setattr(self, f"linear{i}", layer)
+            self.linears.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.linears[:-1]:
+            x = self._relu(layer(x))
+        return self.linears[-1](x)

@@ -1,0 +1,84 @@
+"""Model checkpointing and early stopping."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.base import GNNModel
+from repro.tensor.optim import Adam, Optimizer
+
+
+def save_checkpoint(path: Union[str, Path], model: GNNModel,
+                    optimizer: Optional[Adam] = None,
+                    epoch: int = 0, metric: float = 0.0) -> None:
+    """Write model (and optionally Adam) state to a ``.npz`` archive."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[f"model/{name}"] = value
+    arrays["meta/epoch"] = np.asarray([epoch])
+    arrays["meta/metric"] = np.asarray([metric])
+    if optimizer is not None:
+        arrays["meta/opt_step"] = np.asarray([optimizer._step])
+        arrays["meta/opt_lr"] = np.asarray([optimizer.lr])
+        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            arrays[f"opt/m{i}"] = m
+            arrays[f"opt/v{i}"] = v
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path: Union[str, Path], model: GNNModel,
+                    optimizer: Optional[Adam] = None) -> dict:
+    """Restore model (and optionally Adam) state; returns the metadata."""
+    archive = np.load(path)
+    state = {name[len("model/"):]: archive[name]
+             for name in archive.files if name.startswith("model/")}
+    model.load_state_dict(state)
+    if optimizer is not None:
+        if "meta/opt_step" not in archive.files:
+            raise ConfigError("checkpoint holds no optimiser state")
+        optimizer._step = int(archive["meta/opt_step"][0])
+        optimizer.lr = float(archive["meta/opt_lr"][0])
+        for i in range(len(optimizer._m)):
+            optimizer._m[i][...] = archive[f"opt/m{i}"]
+            optimizer._v[i][...] = archive[f"opt/v{i}"]
+    return {"epoch": int(archive["meta/epoch"][0]),
+            "metric": float(archive["meta/metric"][0])}
+
+
+class EarlyStopping:
+    """Stop training when the validation metric stops improving.
+
+    ``mode`` is ``"min"`` (MAE-style) or ``"max"`` (accuracy-style).
+    """
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0,
+                 mode: str = "min"):
+        if mode not in ("min", "max"):
+            raise ConfigError(f"mode must be 'min' or 'max', got {mode!r}")
+        if patience < 1:
+            raise ConfigError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.best_epoch = 0
+        self._bad = 0
+
+    def step(self, metric: float, epoch: int = 0) -> bool:
+        """Record one epoch; returns True when training should stop."""
+        improved = (self.best is None
+                    or (self.mode == "min"
+                        and metric < self.best - self.min_delta)
+                    or (self.mode == "max"
+                        and metric > self.best + self.min_delta))
+        if improved:
+            self.best = metric
+            self.best_epoch = epoch
+            self._bad = 0
+            return False
+        self._bad += 1
+        return self._bad >= self.patience

@@ -1,0 +1,121 @@
+"""Simulated wall clock: converting kernel plans into per-epoch seconds.
+
+Training loops do their numerics on the numpy engine (whose host speed
+is irrelevant to the paper's claims) and charge *simulated* GPU time
+from the kernel plans.  An :class:`EpochCostModel` simulates a few
+representative batches once and reuses the mean batch time — valid
+because the kernel mix of an epoch is composition-stationary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import MegaConfig
+from repro.core.path import PathRepresentation
+from repro.errors import SimulationError
+from repro.graph.batch import GraphBatch
+from repro.graph.graph import Graph
+from repro.memsim.device import DeviceSpec, GPUDevice, GTX_1080
+from repro.memsim.profiler import Profiler
+from repro.models.kernel_plans import BACKWARD_FACTOR, simulate_batch
+from repro.models.runtime import BaselineRuntime, MegaRuntime
+
+
+@dataclass
+class EpochCost:
+    """Simulated cost summary for one training epoch."""
+
+    batch_seconds: float
+    num_batches: int
+    profiler: Profiler
+
+    @property
+    def epoch_seconds(self) -> float:
+        return self.batch_seconds * self.num_batches
+
+
+class EpochCostModel:
+    """Estimates simulated epoch time for a (dataset, model, method) trio.
+
+    Parameters
+    ----------
+    method:
+        ``"baseline"`` or ``"mega"``.
+    sample_batches:
+        How many representative batches to simulate (>=1).  More samples
+        average out batch-composition noise at simulation cost.
+    """
+
+    def __init__(self, model_name: str, method: str,
+                 hidden_dim: int, num_layers: int,
+                 batch_size: int,
+                 mega_config: Optional[MegaConfig] = None,
+                 device_spec: DeviceSpec = GTX_1080,
+                 sample_batches: int = 2,
+                 seed: int = 0):
+        if method not in ("baseline", "mega"):
+            raise SimulationError(f"unknown method {method!r}")
+        if sample_batches < 1:
+            raise SimulationError("sample_batches must be >= 1")
+        self.model_name = model_name
+        self.method = method
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.batch_size = batch_size
+        self.mega_config = mega_config or MegaConfig()
+        self.device_spec = device_spec
+        self.sample_batches = sample_batches
+        self.seed = seed
+        self._cache: Dict[str, EpochCost] = {}
+
+    def _runtime_for(self, graphs: Sequence[Graph],
+                     paths: Optional[Sequence[PathRepresentation]]):
+        batch = GraphBatch(list(graphs))
+        if self.method == "baseline":
+            return BaselineRuntime(batch)
+        if paths is None:
+            paths = [PathRepresentation.from_graph(g, self.mega_config)
+                     for g in graphs]
+        return MegaRuntime(batch, list(paths))
+
+    def measure(self, graphs: Sequence[Graph],
+                paths: Optional[Sequence[PathRepresentation]] = None,
+                cache_key: Optional[str] = None) -> EpochCost:
+        """Simulate representative batches and return the epoch cost.
+
+        ``paths`` (aligned with ``graphs``) avoids re-running the
+        preprocessing when the caller already has them.
+        """
+        if cache_key is not None and cache_key in self._cache:
+            return self._cache[cache_key]
+        graphs = list(graphs)
+        if not graphs:
+            raise SimulationError("cannot cost an empty dataset")
+        num_batches = int(np.ceil(len(graphs) / self.batch_size))
+        rng = np.random.default_rng(self.seed)
+        profiler = Profiler()
+        device = GPUDevice(self.device_spec)
+        times: List[float] = []
+        for _ in range(self.sample_batches):
+            idx = rng.choice(len(graphs),
+                             size=min(self.batch_size, len(graphs)),
+                             replace=False)
+            chosen = [graphs[i] for i in idx]
+            chosen_paths = ([paths[i] for i in idx]
+                            if paths is not None else None)
+            runtime = self._runtime_for(chosen, chosen_paths)
+            before = profiler.total_time
+            simulate_batch(self.model_name, runtime, device,
+                           self.hidden_dim, self.num_layers,
+                           profiler=profiler)
+            times.append(profiler.total_time - before)
+        batch_seconds = float(np.mean(times)) * BACKWARD_FACTOR
+        cost = EpochCost(batch_seconds=batch_seconds,
+                         num_batches=num_batches, profiler=profiler)
+        if cache_key is not None:
+            self._cache[cache_key] = cost
+        return cost

@@ -1,0 +1,115 @@
+"""Evaluation metrics and convergence bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class EpochRecord:
+    """Per-epoch training state, stamped with the simulated clock."""
+
+    epoch: int
+    sim_time_s: float            # cumulative simulated GPU seconds
+    train_loss: float
+    val_metric: float            # MAE (regression) or accuracy (classification)
+    learning_rate: float
+    preprocess_s: float = 0.0    # one-time CPU preprocessing (MEGA)
+
+
+@dataclass
+class History:
+    """A training trajectory for one (method, model, dataset) run."""
+
+    method: str
+    model_name: str
+    dataset_name: str
+    task: str
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def add(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def sim_times(self) -> np.ndarray:
+        return np.array([r.sim_time_s for r in self.records])
+
+    @property
+    def val_metrics(self) -> np.ndarray:
+        return np.array([r.val_metric for r in self.records])
+
+    @property
+    def train_losses(self) -> np.ndarray:
+        return np.array([r.train_loss for r in self.records])
+
+    def best_metric(self) -> float:
+        vals = self.val_metrics
+        if vals.size == 0:
+            raise ValueError("empty history")
+        return float(vals.max() if self.task == "classification"
+                     else vals.min())
+
+    def time_to_metric(self, target: float) -> Optional[float]:
+        """Simulated seconds until the validation metric reaches ``target``.
+
+        For classification the target is reached from below (accuracy >=
+        target); for regression from above (MAE <= target).  Returns None
+        when never reached.
+        """
+        for record in self.records:
+            good = (record.val_metric >= target
+                    if self.task == "classification"
+                    else record.val_metric <= target)
+            if good:
+                return record.sim_time_s
+        return None
+
+
+def speedup_to_loss_target(fast: History, slow: History,
+                           slack: float = 0.05) -> float:
+    """Convergence speedup measured on the *training-loss* curve.
+
+    The paper's regression figures (11, 12, 15) plot loss against wall
+    clock; the loss curve is far smoother than the per-epoch validation
+    metric, so this estimator is robust to single lucky epochs.  The
+    shared target is the worse of the two best losses, relaxed by
+    ``slack``.
+    """
+    if not fast.records or not slow.records:
+        raise ValueError("empty history")
+    target = max(fast.train_losses.min(), slow.train_losses.min())
+    target *= (1 + slack)
+
+    def time_to(history: History) -> Optional[float]:
+        for record in history.records:
+            if record.train_loss <= target:
+                return record.sim_time_s
+        return None
+
+    t_fast, t_slow = time_to(fast), time_to(slow)
+    if t_fast is None or t_slow is None or t_fast <= 0:
+        raise ValueError("one of the runs never reached the loss target")
+    return t_slow / t_fast
+
+
+def speedup_to_target(fast: History, slow: History,
+                      slack: float = 0.05) -> float:
+    """Paper-style convergence speedup: time ratio to a shared target.
+
+    The target is the worse of the two best metrics, relaxed by
+    ``slack`` so both runs actually reach it.
+    """
+    if fast.task != slow.task:
+        raise ValueError("histories solve different tasks")
+    if fast.task == "classification":
+        target = min(fast.best_metric(), slow.best_metric()) * (1 - slack)
+    else:
+        target = max(fast.best_metric(), slow.best_metric()) * (1 + slack)
+    t_fast = fast.time_to_metric(target)
+    t_slow = slow.time_to_metric(target)
+    if t_fast is None or t_slow is None or t_fast <= 0:
+        raise ValueError("one of the runs never reached the shared target")
+    return t_slow / t_fast

@@ -1,0 +1,119 @@
+"""Path-aware batching and text visualisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MegaConfig,
+    PathRepresentation,
+    batch_padding_waste,
+    bucket_by_length,
+    bucketing_report,
+    padding_waste,
+    random_batches,
+    viz,
+)
+from repro.errors import GraphError
+from repro.graph.generators import molecular_like, ring_graph
+
+
+@pytest.fixture
+def reps(rng):
+    sizes = rng.integers(8, 40, size=24)
+    return [PathRepresentation.from_graph(molecular_like(rng, int(n)))
+            for n in sizes]
+
+
+class TestPaddingWaste:
+    def test_uniform_lengths_no_waste(self):
+        assert padding_waste([5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        # pad [2, 4] to 4 -> 8 slots, 6 useful.
+        assert padding_waste([2, 4]) == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert padding_waste([]) == 0.0
+
+    def test_batch_waste_aggregates(self):
+        assert batch_padding_waste([[2, 4], [3, 3]]) == pytest.approx(
+            1 - 12 / 14)
+
+
+class TestBucketing:
+    def test_batches_cover_all_indices(self, reps):
+        batches = bucket_by_length(reps, 6)
+        flat = sorted(i for b in batches for i in b)
+        assert flat == list(range(len(reps)))
+
+    def test_bucketing_reduces_waste(self, reps):
+        report = bucketing_report(reps, 6)
+        assert report["bucketed_waste"] <= report["random_waste"]
+
+    def test_batches_are_length_sorted(self, reps):
+        batches = bucket_by_length(reps, 6)
+        maxima = [max(reps[i].length for i in b) for b in batches]
+        assert maxima == sorted(maxima)
+
+    def test_shuffle_within_permutes_batches(self, reps):
+        a = bucket_by_length(reps, 6)
+        b = bucket_by_length(reps, 6,
+                             shuffle_within=np.random.default_rng(0))
+        assert sorted(map(tuple, a)) == sorted(map(tuple, b))
+
+    def test_invalid_batch_size(self, reps):
+        with pytest.raises(GraphError):
+            bucket_by_length(reps, 0)
+        with pytest.raises(GraphError):
+            random_batches(5, -1)
+
+
+class TestViz:
+    def test_adjacency_dimensions(self, ring12):
+        art = viz.render_adjacency(ring12)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert all(len(l.split()) == 12 for l in lines)
+
+    def test_band_is_banded(self):
+        rep = PathRepresentation.from_graph(ring_graph(8),
+                                            MegaConfig(window=1))
+        art = viz.render_band(rep)
+        for i, line in enumerate(art.splitlines()):
+            cells = line.split()
+            for j, c in enumerate(cells):
+                if c == "#":
+                    assert abs(i - j) <= 1
+
+    def test_render_rejects_nonsquare(self):
+        with pytest.raises(GraphError):
+            viz.render_matrix(np.zeros((2, 3)))
+
+    def test_render_rejects_huge(self):
+        with pytest.raises(GraphError):
+            viz.render_matrix(np.zeros((100, 100)), max_size=60)
+
+    def test_side_by_side_width(self):
+        out = viz.side_by_side("ab\ncd", "xy\nzw", gap=2)
+        lines = out.splitlines()
+        assert lines[0].endswith("xy")
+        assert lines[0].startswith("ab")
+
+    def test_bar_chart(self):
+        chart = viz.render_bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10       # max value fills the bar
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(GraphError):
+            viz.render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_render_path_marks_virtual(self):
+        from repro.graph.graph import from_edge_list
+
+        g = from_edge_list([(0, 1), (2, 3)], num_nodes=4)
+        rep = PathRepresentation.from_graph(g, MegaConfig(window=1))
+        art = viz.render_path(rep)
+        assert "~>" in art   # the jump between components
+        assert "->" in art

@@ -1,0 +1,107 @@
+"""Importance-based (SparseGAT-style) edge dropping."""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_drop import drop_edges_by_importance, edge_importance
+from repro.errors import GraphError
+from repro.graph.generators import erdos_renyi, star_graph
+from repro.graph.graph import from_edge_list
+from repro.graph.traversal import is_connected
+
+
+class TestEdgeImportance:
+    def test_degree_strategy_protects_leaves(self, star10):
+        scores = edge_importance(star10, "degree")
+        # Every spoke touches a degree-1 leaf: all maximally important.
+        assert np.allclose(scores, 1.0)
+
+    def test_degree_strategy_hub_hub_low(self):
+        # Triangle plus pendant: pendant edge more important than
+        # triangle edges.
+        g = from_edge_list([(0, 1), (1, 2), (0, 2), (2, 3)])
+        scores = edge_importance(g, "degree")
+        pendant = list(zip(g.src, g.dst)).index((2, 3))
+        assert scores[pendant] == scores.max()
+
+    def test_triangle_strategy(self):
+        g = from_edge_list([(0, 1), (1, 2), (0, 2), (2, 3)])
+        scores = edge_importance(g, "triangle")
+        pendant = list(zip(g.src, g.dst)).index((2, 3))
+        triangle_edges = [i for i in range(4) if i != pendant]
+        assert all(scores[pendant] > scores[i] for i in triangle_edges)
+
+    def test_unknown_strategy(self, ring12):
+        with pytest.raises(GraphError):
+            edge_importance(ring12, "pagerank")
+
+
+class TestDropByImportance:
+    def test_drop_count(self, rng):
+        g = erdos_renyi(rng, 40, 0.3)
+        out = drop_edges_by_importance(g, 0.25, "degree", rng)
+        assert out.num_edges == g.num_edges - int(round(0.25 * g.num_edges))
+
+    def test_deterministic_given_seed(self, rng):
+        g = erdos_renyi(rng, 40, 0.3)
+        a = drop_edges_by_importance(g, 0.3, "triangle",
+                                     np.random.default_rng(1))
+        b = drop_edges_by_importance(g, 0.3, "triangle",
+                                     np.random.default_rng(1))
+        assert a.edge_set() == b.edge_set()
+
+    def test_triangle_strategy_keeps_bridge(self):
+        # Two triangles joined by a single bridge: no triangle contains
+        # the bridge, so the triangle strategy must keep it.
+        g = from_edge_list([(0, 1), (1, 2), (0, 2),
+                            (3, 4), (4, 5), (3, 5), (2, 3)])
+        out = drop_edges_by_importance(g, 0.28, "triangle",
+                                       keep_connected_floor=False)
+        assert (2, 3) in out.edge_set()
+
+    def test_degree_strategy_keeps_leaf_edges(self):
+        # Hub-and-spoke plus a hub clique: spokes touch degree-1 leaves
+        # and must survive; clique edges go first.
+        edges = [(0, i) for i in range(3, 9)] + [(0, 1), (1, 2), (0, 2)]
+        g = from_edge_list(edges)
+        out = drop_edges_by_importance(g, 0.3, "degree",
+                                       keep_connected_floor=False)
+        for leaf in range(3, 9):
+            assert (0, leaf) in out.edge_set()
+
+    def test_preserves_connectivity_better_than_random(self, rng):
+        """Importance dropping should disconnect fewer graphs than
+        random dropping at the same rate."""
+        from repro.core.edge_drop import drop_edges
+
+        random_fail = importance_fail = 0
+        for seed in range(12):
+            g = erdos_renyi(np.random.default_rng(seed), 30, 0.12)
+            rand = drop_edges(g, 0.3, np.random.default_rng(seed + 100),
+                              keep_connected_floor=False)
+            imp = drop_edges_by_importance(
+                g, 0.3, "degree", np.random.default_rng(seed + 100),
+                keep_connected_floor=False)
+            random_fail += not is_connected(rand)
+            importance_fail += not is_connected(imp)
+        assert importance_fail <= random_fail
+
+    def test_zero_fraction_copy(self, ring12):
+        out = drop_edges_by_importance(ring12, 0.0)
+        assert out.num_edges == ring12.num_edges
+
+    def test_invalid_fraction(self, ring12):
+        with pytest.raises(GraphError):
+            drop_edges_by_importance(ring12, 1.0)
+
+    def test_edge_features_follow(self, rng):
+        from repro.graph.graph import Graph
+
+        g = erdos_renyi(rng, 20, 0.4)
+        g = Graph(g.num_nodes, g.src, g.dst,
+                  edge_features=np.arange(g.num_edges))
+        out = drop_edges_by_importance(g, 0.2, "degree", rng)
+        orig = {(min(s, d), max(s, d)): f
+                for s, d, f in zip(g.src, g.dst, g.edge_features)}
+        for s, d, f in zip(out.src, out.dst, out.edge_features):
+            assert orig[(min(s, d), max(s, d))] == f

@@ -1,0 +1,144 @@
+"""Incremental path maintenance under edge insertions/deletions."""
+
+import numpy as np
+import pytest
+
+from repro.core import MegaConfig
+from repro.core.incremental import IncrementalPath
+from repro.errors import GraphError, ScheduleError
+from repro.graph.generators import erdos_renyi, ring_graph
+from repro.graph.graph import Graph, from_edge_list
+
+
+@pytest.fixture
+def inc(rng):
+    g = erdos_renyi(rng, 30, 0.1)
+    return IncrementalPath(g, MegaConfig(window=2)), g
+
+
+class TestConstruction:
+    def test_initial_full_coverage(self, inc):
+        tracker, _ = inc
+        assert tracker.coverage == 1.0
+        assert tracker.rebuilds == 1
+
+    def test_invalid_threshold(self, rng):
+        g = ring_graph(5)
+        with pytest.raises(ScheduleError):
+            IncrementalPath(g, rebuild_expansion=1.0)
+
+
+class TestInsert:
+    def test_insert_keeps_full_coverage(self, inc, rng):
+        tracker, g = inc
+        # Insert a handful of new edges between random non-adjacent pairs.
+        added = 0
+        while added < 5:
+            u, v = rng.integers(0, 30, size=2)
+            key = (min(u, v), max(u, v))
+            if u == v or key in tracker._edges:
+                continue
+            tracker.insert(int(u), int(v))
+            added += 1
+        assert tracker.coverage == 1.0
+
+    def test_in_place_adoption_when_band_allows(self):
+        # Path of a ring visits consecutive vertices; inserting a chord
+        # between vertices 2 apart is adoptable in place at ω=2.
+        g = ring_graph(10)
+        tracker = IncrementalPath(g, MegaConfig(window=2))
+        adopted = tracker.insert(0, 2)
+        assert adopted
+        assert tracker.patches == 0
+
+    def test_patch_for_far_pair(self):
+        g = from_edge_list([(i, i + 1) for i in range(9)])
+        tracker = IncrementalPath(g, MegaConfig(window=1),
+                                  rebuild_expansion=10.0)
+        before = tracker.length
+        adopted = tracker.insert(0, 9)   # endpoints far apart in the path
+        assert not adopted
+        assert tracker.length == before + 2
+        assert tracker.patches == 1
+        assert tracker.coverage == 1.0
+
+    def test_duplicate_insert_rejected(self, inc):
+        tracker, g = inc
+        s, d = int(g.src[0]), int(g.dst[0])
+        with pytest.raises(GraphError):
+            tracker.insert(s, d)
+
+    def test_out_of_range_rejected(self, inc):
+        tracker, _ = inc
+        with pytest.raises(GraphError):
+            tracker.insert(0, 99)
+
+    def test_auto_rebuild_on_expansion(self):
+        g = from_edge_list([(i, i + 1) for i in range(19)])
+        tracker = IncrementalPath(g, MegaConfig(window=1),
+                                  rebuild_expansion=1.3)
+        rebuilds_before = tracker.rebuilds
+        # Far-apart insertions force patches until the threshold trips.
+        pairs = [(0, 10), (1, 12), (2, 14), (3, 16), (4, 18), (5, 19),
+                 (0, 15), (1, 17)]
+        for u, v in pairs:
+            if (min(u, v), max(u, v)) not in tracker._edges:
+                tracker.insert(u, v)
+        assert tracker.rebuilds > rebuilds_before
+        assert tracker.coverage == 1.0
+
+
+class TestRemove:
+    def test_remove_shrinks_edge_set(self, inc):
+        tracker, g = inc
+        s, d = int(g.src[0]), int(g.dst[0])
+        tracker.remove(s, d)
+        assert (min(s, d), max(s, d)) not in tracker._edges
+        assert tracker.coverage == 1.0  # remaining edges still covered
+
+    def test_remove_missing_rejected(self, inc):
+        tracker, _ = inc
+        with pytest.raises(GraphError):
+            tracker.remove(0, 0)
+
+    def test_reinsert_after_remove(self, inc):
+        tracker, g = inc
+        s, d = int(g.src[0]), int(g.dst[0])
+        tracker.remove(s, d)
+        tracker.insert(s, d)
+        assert tracker.coverage == 1.0
+
+
+class TestMaterialisation:
+    def test_to_representation_valid(self, inc, rng):
+        tracker, _ = inc
+        for _ in range(3):
+            u, v = rng.integers(0, 30, size=2)
+            key = (min(u, v), max(u, v))
+            if u != v and key not in tracker._edges:
+                tracker.insert(int(u), int(v))
+        rep = tracker.to_representation()
+        assert rep.coverage == 1.0
+        delta = np.abs(rep.band.pos_src - rep.band.pos_dst)
+        assert delta.max(initial=0) <= tracker.window
+
+    def test_matches_fresh_rebuild_semantics(self, rng):
+        """After many updates the tracked band covers the same edge set
+        a fresh schedule would."""
+        g = erdos_renyi(rng, 25, 0.15)
+        tracker = IncrementalPath(g, MegaConfig(window=2),
+                                  rebuild_expansion=10.0)
+        for _ in range(10):
+            u, v = rng.integers(0, 25, size=2)
+            key = (min(u, v), max(u, v))
+            if u == v:
+                continue
+            if key in tracker._edges:
+                tracker.remove(int(u), int(v))
+            else:
+                tracker.insert(int(u), int(v))
+        rep = tracker.to_representation()
+        assert set(map(tuple, np.stack(
+            [rep.graph.src, rep.graph.dst], 1).tolist())) \
+            == {tuple(sorted(k)) for k in tracker._edges}
+        assert rep.coverage == 1.0

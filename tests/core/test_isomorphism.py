@@ -1,0 +1,130 @@
+"""WL refinement and the Fig. 8 similarity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MegaConfig
+from repro.core.isomorphism import (
+    global_similarity_profile,
+    multiset_similarity,
+    path_similarity_profile,
+    wl_distinguishes,
+    wl_joint_labels,
+    wl_similarity,
+)
+from repro.core.path import PathRepresentation
+from repro.errors import GraphError
+from repro.graph.generators import (
+    circular_skip_link,
+    erdos_renyi,
+    molecular_like,
+    ring_graph,
+    star_graph,
+)
+from repro.graph.graph import complete_graph, from_edge_list
+from repro.graph.reorder import apply_order
+
+
+class TestMultisetSimilarity:
+    def test_identical(self):
+        assert multiset_similarity(np.array([1, 2, 2]),
+                                   np.array([2, 1, 2])) == 1.0
+
+    def test_disjoint(self):
+        assert multiset_similarity(np.array([1, 1]),
+                                   np.array([2, 2])) == 0.0
+
+    def test_partial(self):
+        assert multiset_similarity(np.array([1, 2]),
+                                   np.array([1, 3])) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert multiset_similarity(np.array([]), np.array([])) == 1.0
+
+    def test_different_sizes(self):
+        assert multiset_similarity(np.array([1]),
+                                   np.array([1, 1])) == pytest.approx(0.5)
+
+
+class TestWLRefinement:
+    def test_ring_stays_uniform(self, ring12):
+        labels = wl_joint_labels([ring12], hops=3)
+        for step in labels:
+            assert len(np.unique(step[0])) == 1
+
+    def test_star_separates_hub(self, star10):
+        labels = wl_joint_labels([star10], hops=1)
+        final = labels[-1][0]
+        assert final[0] != final[1]
+        assert len(np.unique(final[1:])) == 1
+
+    def test_shared_universe_makes_labels_comparable(self, ring12):
+        labels = wl_joint_labels([ring12, ring_graph(12)], hops=2)
+        assert np.array_equal(labels[-1][0], labels[-1][1])
+
+    def test_initial_labels_respected(self, ring12):
+        init = [np.arange(12)]
+        labels = wl_joint_labels([ring12], hops=1, initial_labels=init)
+        assert len(np.unique(labels[0][0])) == 12
+
+    def test_initial_label_length_checked(self, ring12):
+        with pytest.raises(GraphError):
+            wl_joint_labels([ring12], 1, initial_labels=[np.zeros(3)])
+
+    def test_negative_hops_rejected(self, ring12):
+        with pytest.raises(GraphError):
+            wl_joint_labels([ring12], -1)
+
+
+class TestWLSimilarity:
+    def test_isomorphic_relabelling_full_similarity(self, molecule):
+        order = np.random.default_rng(0).permutation(molecule.num_nodes)
+        relabelled = apply_order(molecule, order)
+        sims = wl_similarity(molecule, relabelled, hops=3)
+        assert all(s == 1.0 for s in sims)
+
+    def test_distinguishes_ring_vs_star(self):
+        ring = ring_graph(9)
+        star = star_graph(8)
+        assert wl_distinguishes(ring, star, hops=2)
+
+    def test_different_sizes_rejected(self, ring12):
+        with pytest.raises(GraphError):
+            wl_similarity(ring12, ring_graph(5), 1)
+
+    def test_csl_classes_not_separated_by_plain_wl(self):
+        """CSL graphs are WL-indistinguishable — the known expressivity
+        limit that motivates positional encodings."""
+        a = circular_skip_link(41, 2)
+        b = circular_skip_link(41, 3)
+        sims = wl_similarity(a, b, hops=3)
+        assert all(s == 1.0 for s in sims)
+
+
+class TestFig8Profiles:
+    def test_path_identity_at_one_hop_without_virtual(self, molecule):
+        rep = PathRepresentation.from_graph(molecule, MegaConfig(window=2))
+        sims = path_similarity_profile(molecule, rep, hops=3,
+                                       include_virtual=False)
+        # Full coverage: the band graph IS the original graph.
+        assert all(s == 1.0 for s in sims)
+
+    def test_path_beats_global_at_depth(self, rng):
+        g = erdos_renyi(rng, 40, 0.05)
+        rep = PathRepresentation.from_graph(g, MegaConfig(window=2))
+        p = path_similarity_profile(g, rep, hops=3, include_virtual=True)
+        gl = global_similarity_profile(g, hops=3)
+        # Hop 0 is trivially 1 for both; beyond that the path preserves
+        # far more structure than full mixing.
+        assert p[1] >= gl[1]
+        assert sum(p[1:]) > sum(gl[1:])
+
+    def test_global_similarity_one_for_complete_graph(self):
+        g = complete_graph(10)
+        sims = global_similarity_profile(g, hops=2)
+        assert all(s == 1.0 for s in sims)
+
+    def test_global_similarity_low_for_sparse(self, rng):
+        g = erdos_renyi(rng, 30, 0.1)
+        sims = global_similarity_profile(g, hops=2)
+        assert sims[1] < 0.5

@@ -1,0 +1,108 @@
+"""White-box tests of Algorithm 1's candidate-selection hierarchy.
+
+The pseudocode's three-tier priority: (1) unvisited neighbours of the
+current vertex, (2) the stack of visited vertices with unvisited
+neighbours (LIFO — most correlated with the recent path), (3) the
+unvisited set via a virtual jump.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import traverse
+from repro.graph.graph import from_edge_list
+
+
+class TestTierOne:
+    def test_neighbours_preferred_over_jumps(self):
+        """While the current vertex has uncovered edges, the walk never
+        jumps: each consecutive non-virtual pair is an edge."""
+        g = from_edge_list([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        result = traverse(g, window=2, start=0)
+        adjacency = g.adjacency_lists()
+        for idx in range(1, result.length):
+            prev, curr = result.path[idx - 1], result.path[idx]
+            if not result.virtual_mask[idx]:
+                assert curr in adjacency[prev]
+
+    def test_correlate_breaks_ties_toward_window(self):
+        """Equation 2: the neighbour with more uncovered edges into the
+        recent window wins.  From vertex 1 (path = [0, 1]) candidate 2
+        (also adjacent to 0, inside the window) must beat candidate 3."""
+        g = from_edge_list([(0, 1), (1, 2), (1, 3), (0, 2)])
+        result = traverse(g, window=2, start=0)
+        assert result.path[0] == 0
+        assert result.path[1] in (1, 2)
+        if result.path[1] == 1:
+            # correlate(2) = |{0,2}∩path-window| counts the uncovered
+            # edge back to 0; correlate(3) = 0.
+            assert result.path[2] == 2
+
+
+class TestTierTwo:
+    def test_stack_resume_before_unvisited_jump(self):
+        """A dead end resumes from the stack (a visited vertex with
+        uncovered edges) before jumping to fresh vertices."""
+        # Star with a tail: walking 0->1 dead-ends at leaf 1, so the
+        # traversal must resume at hub 0 (stack), not jump to 2/3 first.
+        g = from_edge_list([(0, 1), (0, 2), (0, 3)])
+        result = traverse(g, window=1, start=0)
+        # Path starts 0, leaf, 0 (resume), leaf, 0 (resume), leaf.
+        assert result.path[0] == 0
+        assert result.path[2] == 0
+        assert result.path[4] == 0
+        # The resumes revisit an already-visited vertex — no jumps needed
+        # because hub 0 is adjacent to every leaf... the transition
+        # leaf->0 follows a real (still uncovered) edge.
+        assert result.num_jumps == 0
+
+    def test_lifo_resume_order(self):
+        """Two pending branch points: the most recent one resumes first."""
+        # Chain 0-1-2 with branches at 1 (vertex 10) and 2 (vertex 20).
+        g = from_edge_list([(0, 1), (1, 2), (1, 10), (2, 20)])
+        result = traverse(g, window=1, start=0)
+        path = result.path.tolist()
+        # After walking 0,1,2 the stack holds [1, 2]; 2's branch (20)
+        # must be taken before 1's branch (10).
+        assert path.index(20) < path.index(10)
+
+
+class TestTierThree:
+    def test_jump_only_when_stack_empty(self):
+        """Virtual jumps happen only at component boundaries."""
+        g = from_edge_list([(0, 1), (1, 2), (3, 4), (4, 5)], num_nodes=6)
+        result = traverse(g, window=1, start=0)
+        jumps = [i for i in range(result.length)
+                 if result.virtual_mask[i]]
+        assert len(jumps) == 1
+        # The jump lands on the other component.
+        landing = result.path[jumps[0]]
+        assert landing in (3, 4, 5)
+
+    def test_odd_degree_preferred_for_new_path(self):
+        """Commencing a new path prefers odd-degree vertices (the
+        Eulerian endpoint heuristic from Section III-B)."""
+        # Component A is a triangle (all even); component B is a path
+        # (endpoints odd). Start in A; the jump should pick an odd-degree
+        # vertex of B (an endpoint), enabling a revisit-free sweep.
+        g = from_edge_list([(0, 1), (1, 2), (0, 2),
+                            (3, 4), (4, 5)], num_nodes=6)
+        result = traverse(g, window=1, start=0)
+        jump_positions = [i for i in range(result.length)
+                          if result.virtual_mask[i]]
+        landing = int(result.path[jump_positions[0]])
+        assert landing in (3, 5)   # path endpoints, degree 1
+
+
+class TestTermination:
+    def test_stops_at_coverage_target(self):
+        g = from_edge_list([(i, j) for i in range(8)
+                            for j in range(i + 1, 8)])  # K8
+        result = traverse(g, window=2, coverage=0.5)
+        assert 0.5 <= result.coverage < 1.0
+
+    def test_full_termination_all_edges(self):
+        g = from_edge_list([(i, j) for i in range(7)
+                            for j in range(i + 1, 7)])  # K7
+        result = traverse(g, window=3)
+        assert result.coverage == 1.0

@@ -1,0 +1,86 @@
+"""Schedule serialisation round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MegaConfig,
+    PathRepresentation,
+    load_schedule_json,
+    load_schedules_npz,
+    rebuild_path_representation,
+    save_schedule_json,
+    save_schedules_npz,
+    traversal_from_dict,
+    traversal_to_dict,
+)
+from repro.errors import ScheduleError
+from repro.graph.generators import erdos_renyi, molecular_like
+
+
+@pytest.fixture
+def rep(molecule):
+    return PathRepresentation.from_graph(molecule, MegaConfig(window=2))
+
+
+class TestDictRoundTrip:
+    def test_fields_preserved(self, rep):
+        back = traversal_from_dict(traversal_to_dict(rep.schedule))
+        assert np.array_equal(back.path, rep.schedule.path)
+        assert np.array_equal(back.virtual_mask, rep.schedule.virtual_mask)
+        assert back.cover_positions == rep.schedule.cover_positions
+        assert back.window == rep.schedule.window
+        assert back.coverage == rep.schedule.coverage
+
+    def test_dict_is_json_compatible(self, rep):
+        import json
+
+        text = json.dumps(traversal_to_dict(rep.schedule))
+        back = traversal_from_dict(json.loads(text))
+        assert np.array_equal(back.path, rep.schedule.path)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ScheduleError):
+            traversal_from_dict({"path": [0]})
+
+    def test_length_mismatch_rejected(self, rep):
+        data = traversal_to_dict(rep.schedule)
+        data["virtual_mask"] = data["virtual_mask"][:-1]
+        with pytest.raises(ScheduleError):
+            traversal_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_json(self, rep, tmp_path):
+        path = tmp_path / "schedule.json"
+        save_schedule_json(rep.schedule, path)
+        back = load_schedule_json(path)
+        assert np.array_equal(back.path, rep.schedule.path)
+
+    def test_npz_many(self, rng, tmp_path):
+        graphs = [molecular_like(rng, 15) for _ in range(5)]
+        schedules = {
+            f"g{i}": PathRepresentation.from_graph(g).schedule
+            for i, g in enumerate(graphs)}
+        path = tmp_path / "schedules.npz"
+        save_schedules_npz(schedules, path)
+        back = load_schedules_npz(path)
+        assert set(back) == set(schedules)
+        for key in schedules:
+            assert np.array_equal(back[key].path, schedules[key].path)
+            assert (back[key].cover_positions
+                    == schedules[key].cover_positions)
+
+
+class TestRebuild:
+    def test_representation_equivalent(self, molecule, rep):
+        back = rebuild_path_representation(
+            molecule, traversal_from_dict(traversal_to_dict(rep.schedule)))
+        assert np.array_equal(back.path, rep.path)
+        assert np.array_equal(back.band.edge_ids, rep.band.edge_ids)
+        assert back.coverage == rep.coverage
+
+    def test_wrong_graph_rejected(self, rep, rng):
+        small = erdos_renyi(rng, 5, 0.5)
+        with pytest.raises(Exception):
+            rebuild_path_representation(small, rep.schedule)

@@ -1,0 +1,73 @@
+"""Positional encodings and structural features."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.features import degree_feature, laplacian_pe, random_walk_pe
+from repro.errors import GraphError
+from repro.graph.generators import circular_skip_link, ring_graph, star_graph
+
+
+class TestLaplacianPE:
+    def test_shape(self, ring12):
+        pe = laplacian_pe(ring12, 4)
+        assert pe.shape == (12, 4)
+
+    def test_pads_when_k_exceeds_n(self):
+        g = ring_graph(3)
+        pe = laplacian_pe(g, 8)
+        assert pe.shape == (3, 8)
+        assert np.allclose(pe[:, 2:], 0.0)
+
+    def test_separates_csl_classes(self):
+        """PEs must carry the information WL cannot: the skip length."""
+        a = laplacian_pe(circular_skip_link(41, 2), 8)
+        b = laplacian_pe(circular_skip_link(41, 3), 8)
+        # Compare spectra through column norms of |PE| sorted.
+        sig_a = np.sort(np.abs(a).sum(axis=0))
+        sig_b = np.sort(np.abs(b).sum(axis=0))
+        assert not np.allclose(sig_a, sig_b, atol=1e-3)
+
+    def test_sign_randomisation(self, ring12):
+        a = laplacian_pe(ring12, 4, rng=np.random.default_rng(0))
+        b = laplacian_pe(ring12, 4, rng=np.random.default_rng(1))
+        assert not np.allclose(a, b)
+        assert np.allclose(np.abs(a), np.abs(b), atol=1e-9)
+
+    def test_invalid_k(self, ring12):
+        with pytest.raises(GraphError):
+            laplacian_pe(ring12, 0)
+
+
+class TestRandomWalkPE:
+    def test_shape_and_range(self, molecule):
+        pe = random_walk_pe(molecule, 4)
+        assert pe.shape == (molecule.num_nodes, 4)
+        assert np.all(pe >= 0) and np.all(pe <= 1)
+
+    def test_ring_uniform(self, ring12):
+        pe = random_walk_pe(ring12, 3)
+        # Vertex-transitivity: all rows identical.
+        assert np.allclose(pe, pe[0])
+
+    def test_return_probability_step2_ring(self, ring12):
+        pe = random_walk_pe(ring12, 2)
+        assert np.allclose(pe[:, 0], 0.0)       # no return in 1 step
+        assert np.allclose(pe[:, 1], 0.5)       # back-and-forth probability
+
+    def test_star_hub_differs(self, star10):
+        pe = random_walk_pe(star10, 2)
+        assert pe[0, 1] != pytest.approx(pe[1, 1])
+
+
+class TestDegreeFeature:
+    def test_one_hot(self, star10):
+        feat = degree_feature(star10, max_degree=16)
+        assert feat.shape == (11, 17)
+        assert np.allclose(feat.sum(axis=1), 1.0)
+        assert feat[0, 10] == 1.0
+
+    def test_clamping(self):
+        g = star_graph(30)
+        feat = degree_feature(g, max_degree=5)
+        assert feat[0, 5] == 1.0

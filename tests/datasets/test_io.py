@@ -1,0 +1,70 @@
+"""Dataset serialisation round trips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.io import load_dataset_npz, save_dataset
+from repro.errors import GraphError
+
+
+@pytest.fixture(scope="module")
+def zinc():
+    return load_dataset("ZINC", scale=0.003)
+
+
+@pytest.fixture(scope="module")
+def csl():
+    return load_dataset("CSL", scale=0.2)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, zinc, tmp_path):
+        path = tmp_path / "zinc.npz"
+        save_dataset(zinc, path)
+        back = load_dataset_npz(path)
+        assert back.name == "ZINC"
+        assert back.task == "regression"
+        assert len(back.train) == len(zinc.train)
+        assert back.num_node_types == zinc.num_node_types
+        for a, b in zip(zinc.train, back.train):
+            assert a.num_nodes == b.num_nodes
+            assert a.edge_set() == b.edge_set()
+            assert a.label == pytest.approx(b.label)
+            assert np.array_equal(np.asarray(a.node_features),
+                                  np.asarray(b.node_features))
+            assert np.array_equal(np.asarray(a.edge_features),
+                                  np.asarray(b.edge_features))
+
+    def test_classification_labels_are_ints(self, csl, tmp_path):
+        path = tmp_path / "csl.npz"
+        save_dataset(csl, path)
+        back = load_dataset_npz(path)
+        assert all(isinstance(g.label, int) for g in back.train)
+        assert [g.label for g in back.train] == [g.label
+                                                 for g in csl.train]
+
+    def test_continuous_features_roundtrip(self, csl, tmp_path):
+        path = tmp_path / "csl.npz"
+        save_dataset(csl, path)
+        back = load_dataset_npz(path)
+        a = np.asarray(csl.train[0].node_features)
+        b = np.asarray(back.train[0].node_features)
+        assert np.allclose(a, b)
+
+    def test_trainable_after_reload(self, zinc, tmp_path):
+        from repro.train import Trainer, build_model
+
+        path = tmp_path / "zinc.npz"
+        save_dataset(zinc, path)
+        back = load_dataset_npz(path)
+        model = build_model("GCN", back, hidden_dim=16, num_layers=2)
+        trainer = Trainer(model, back, method="baseline", batch_size=16)
+        history = trainer.fit(1)
+        assert np.isfinite(history.records[0].train_loss)
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(GraphError):
+            load_dataset_npz(path)

@@ -1,0 +1,103 @@
+"""Distributed communication analysis (§IV-B6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MegaConfig
+from repro.core.path import PathRepresentation
+from repro.distributed import (
+    communication_sweep,
+    edge_cut_communication,
+    partition_path,
+    path_communication,
+    path_partition_communication,
+)
+from repro.errors import GraphError
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def setting():
+    g = erdos_renyi(np.random.default_rng(1), 150, 0.05)
+    rep = PathRepresentation.from_graph(g, MegaConfig(window=2))
+    return g, rep
+
+
+class TestPathPartition:
+    def test_chunks_cover_path(self, setting):
+        _, rep = setting
+        part = partition_path(rep, 5)
+        assert part.boundaries[0] == 0
+        assert part.boundaries[-1] == rep.length
+        assert part.sizes().sum() == rep.length
+
+    def test_balance(self, setting):
+        _, rep = setting
+        part = partition_path(rep, 7)
+        sizes = part.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_invalid_k(self, setting):
+        _, rep = setting
+        with pytest.raises(GraphError):
+            partition_path(rep, 0)
+        with pytest.raises(GraphError):
+            partition_path(rep, rep.length + 1)
+
+    def test_chunk_accessor(self, setting):
+        _, rep = setting
+        part = partition_path(rep, 3)
+        lo, hi = part.chunk(1)
+        assert 0 < lo < hi <= rep.length
+
+
+class TestPathCommunication:
+    def test_pairs_linear_in_k(self, setting):
+        _, rep = setting
+        for k in (2, 4, 8):
+            report = path_communication(rep, k)
+            assert report["communication_pairs"] == k - 1
+
+    def test_crossing_messages_bounded_by_halo(self, setting):
+        """No band message can cross more than the ω-halo allows."""
+        _, rep = setting
+        report = path_communication(rep, 6)
+        assert report["crossing_messages"] <= 2 * rep.window * 6
+
+    def test_volume_scales_with_dim(self, setting):
+        _, rep = setting
+        thin = path_communication(rep, 4, feature_dim=1)
+        wide = path_communication(rep, 4, feature_dim=16)
+        assert wide["halo_rows"] == 16 * thin["halo_rows"]
+
+
+class TestComparison:
+    def test_edge_cut_report(self, setting):
+        g, _ = setting
+        report = edge_cut_communication(g, 4)
+        assert report.partitions == 4
+        assert report.volume_rows > 0
+
+    def test_path_beats_edge_cut(self, setting):
+        g, rep = setting
+        for k in (4, 8):
+            base = edge_cut_communication(g, k)
+            mega = path_partition_communication(rep, k)
+            assert mega.volume_rows < base.volume_rows
+            assert mega.communication_pairs <= base.communication_pairs
+
+    def test_edge_cut_pairs_superlinear(self, setting):
+        """Edge-cut layouts approach all-to-all as k grows."""
+        g, _ = setting
+        pairs = [edge_cut_communication(g, k).communication_pairs
+                 for k in (2, 4, 8, 12)]
+        # Path layout would be k-1 = 1, 3, 7, 11.
+        assert pairs[-1] > 11
+        assert pairs == sorted(pairs)
+
+    def test_sweep_format(self, setting):
+        g, rep = setting
+        rows = communication_sweep(g, rep, [2, 4])
+        assert [r["k"] for r in rows] == [2, 4]
+        for row in rows:
+            assert row["path_pairs"] == row["k"] - 1

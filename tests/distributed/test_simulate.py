@@ -1,0 +1,77 @@
+"""Simulated multi-device rounds: path partition vs edge cut."""
+
+import numpy as np
+import pytest
+
+from repro.core import MegaConfig, PathRepresentation
+from repro.distributed import (
+    ClusterSpec,
+    scaling_sweep,
+    simulate_edge_cut_round,
+    simulate_path_round,
+)
+from repro.errors import SimulationError
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def setting():
+    g = erdos_renyi(np.random.default_rng(5), 1500, 0.004)
+    rep = PathRepresentation.from_graph(g, MegaConfig(window=2))
+    return g, rep
+
+
+class TestRounds:
+    def test_invalid_k(self, setting):
+        g, _ = setting
+        with pytest.raises(SimulationError):
+            simulate_edge_cut_round(g, 0, 64)
+
+    def test_single_device_no_comm(self, setting):
+        g, rep = setting
+        assert simulate_edge_cut_round(g, 1, 64).communication_s == 0.0
+        assert simulate_path_round(rep, 1, 64).communication_s == 0.0
+
+    def test_path_comm_constant_in_k(self, setting):
+        _, rep = setting
+        comms = [simulate_path_round(rep, k, 64).communication_s
+                 for k in (2, 4, 8)]
+        assert comms[0] == pytest.approx(comms[1]) == pytest.approx(comms[2])
+
+    def test_edge_cut_comm_grows(self, setting):
+        g, _ = setting
+        a = simulate_edge_cut_round(g, 2, 64).communication_s
+        b = simulate_edge_cut_round(g, 16, 64).communication_s
+        assert b > a
+
+    def test_path_balance_near_perfect(self, setting):
+        _, rep = setting
+        report = simulate_path_round(rep, 8, 64)
+        assert report.imbalance < 1.05
+
+    def test_compute_shrinks_with_k(self, setting):
+        _, rep = setting
+        c2 = simulate_path_round(rep, 2, 64).compute_s
+        c8 = simulate_path_round(rep, 8, 64).compute_s
+        assert c8 < c2
+
+
+class TestScalingSweep:
+    def test_path_scales_better(self, setting):
+        g, rep = setting
+        rows = scaling_sweep(g, rep, [2, 4, 8], feature_dim=64)
+        for row in rows:
+            assert row["path_scaling"] >= row["edge_cut_scaling"], row
+
+    def test_comm_share_ordering(self, setting):
+        g, rep = setting
+        rows = scaling_sweep(g, rep, [8], feature_dim=64)
+        assert rows[0]["path_comm_share"] <= rows[0]["edge_cut_comm_share"]
+
+    def test_custom_cluster_spec(self, setting):
+        g, rep = setting
+        slow = ClusterSpec(link_bandwidth_gbs=0.1, message_latency_us=500)
+        fast = ClusterSpec(link_bandwidth_gbs=100, message_latency_us=1)
+        t_slow = simulate_edge_cut_round(g, 4, 64, slow).communication_s
+        t_fast = simulate_edge_cut_round(g, 4, 64, fast).communication_s
+        assert t_slow > t_fast

@@ -1,0 +1,114 @@
+"""Random-graph generators: structure and statistics guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+from repro.graph.traversal import is_connected
+
+
+class TestErdosRenyi:
+    def test_connected_by_default(self, rng):
+        for _ in range(5):
+            g = gen.erdos_renyi(rng, 30, 0.05)
+            assert is_connected(g)
+
+    def test_p_bounds(self, rng):
+        with pytest.raises(GraphError):
+            gen.erdos_renyi(rng, 10, 1.5)
+
+    def test_p_one_is_complete(self, rng):
+        g = gen.erdos_renyi(rng, 8, 1.0)
+        assert g.num_edges == 28
+
+    def test_sparsity_target(self, rng):
+        g = gen.erdos_renyi_with_sparsity(rng, 40, 0.1)
+        assert g.sparsity == pytest.approx(0.1, abs=0.03)
+
+    def test_sparsity_one_complete(self, rng):
+        g = gen.erdos_renyi_with_sparsity(rng, 10, 1.0)
+        assert g.num_edges == 45
+
+    def test_sparsity_bounds(self, rng):
+        with pytest.raises(GraphError):
+            gen.erdos_renyi_with_sparsity(rng, 10, 0.0)
+
+
+class TestStructuredGraphs:
+    def test_ring_degrees(self):
+        g = gen.ring_graph(7)
+        assert np.all(g.degrees() == 2)
+        assert g.num_edges == 7
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(GraphError):
+            gen.ring_graph(2)
+
+    def test_csl_is_4_regular(self):
+        g = gen.circular_skip_link(41, 5)
+        assert np.all(g.degrees() == 4)
+        assert g.num_edges == 82
+
+    def test_csl_skip_bounds(self):
+        with pytest.raises(GraphError):
+            gen.circular_skip_link(10, 1)
+        with pytest.raises(GraphError):
+            gen.circular_skip_link(10, 9)
+
+    def test_csl_classes_differ(self):
+        a = gen.circular_skip_link(41, 2)
+        b = gen.circular_skip_link(41, 3)
+        assert a.edge_set() != b.edge_set()
+
+    def test_grid_counts(self):
+        g = gen.grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4   # horizontal + vertical
+
+    def test_star_structure(self):
+        g = gen.star_graph(6)
+        assert g.num_nodes == 7
+        assert g.degrees()[0] == 6
+
+    def test_random_tree_is_tree(self, rng):
+        g = gen.random_tree(rng, 20)
+        assert g.num_edges == 19
+        assert is_connected(g)
+
+
+class TestMolecularLike:
+    def test_connected(self, rng):
+        for _ in range(5):
+            assert is_connected(gen.molecular_like(rng, 23))
+
+    def test_sparsity_matches_zinc_band(self, rng):
+        sparsities = [gen.molecular_like(rng, 23).sparsity
+                      for _ in range(30)]
+        assert 0.07 < np.mean(sparsities) < 0.13
+
+    def test_mean_degree_molecular(self, rng):
+        degs = [gen.molecular_like(rng, 23).degrees().mean()
+                for _ in range(30)]
+        assert 2.0 < np.mean(degs) < 2.6
+
+    def test_no_duplicate_edges(self, rng):
+        g = gen.molecular_like(rng, 30)
+        keys = list(zip(np.minimum(g.src, g.dst), np.maximum(g.src, g.dst)))
+        assert len(keys) == len(set(keys))
+
+
+class TestBarabasiAlbert:
+    def test_skewed_degrees(self, rng):
+        g = gen.barabasi_albert(rng, 100, attach=2)
+        deg = g.degrees()
+        assert deg.max() > 3 * deg.mean()
+
+    def test_attach_bounds(self, rng):
+        with pytest.raises(GraphError):
+            gen.barabasi_albert(rng, 10, attach=0)
+
+    def test_determinism(self):
+        a = gen.barabasi_albert(np.random.default_rng(5), 50, 2)
+        b = gen.barabasi_albert(np.random.default_rng(5), 50, 2)
+        assert a.edge_set() == b.edge_set()

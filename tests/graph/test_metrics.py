@@ -1,0 +1,101 @@
+"""Structural metrics, cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import metrics
+from repro.graph.generators import erdos_renyi, ring_graph, star_graph
+from repro.graph.graph import complete_graph, from_edge_list, to_networkx
+
+
+class TestTriangles:
+    def test_triangle_graph(self):
+        g = from_edge_list([(0, 1), (1, 2), (0, 2)])
+        assert metrics.triangle_count(g) == 1
+
+    def test_ring_has_none(self, ring12):
+        assert metrics.triangle_count(ring12) == 0
+
+    def test_complete_graph(self):
+        # C(5, 3) = 10 triangles in K5.
+        assert metrics.triangle_count(complete_graph(5)) == 10
+
+    def test_matches_networkx(self, er50):
+        ours = metrics.triangle_count(er50)
+        theirs = sum(nx.triangles(to_networkx(er50)).values()) // 3
+        assert ours == theirs
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert metrics.clustering_coefficient(complete_graph(6)) == 1.0
+
+    def test_star_is_zero(self, star10):
+        assert metrics.clustering_coefficient(star10) == 0.0
+
+    def test_local_value(self):
+        g = from_edge_list([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert metrics.clustering_coefficient(g, 2) == pytest.approx(1 / 3)
+
+    def test_matches_networkx(self, rng):
+        g = erdos_renyi(rng, 30, 0.2)
+        ours = metrics.clustering_coefficient(g)
+        theirs = nx.average_clustering(to_networkx(g))
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_local_bounds_check(self, ring12):
+        with pytest.raises(GraphError):
+            metrics.clustering_coefficient(ring12, 99)
+
+
+class TestAssortativity:
+    def test_star_disassortative(self, star10):
+        assert metrics.degree_assortativity(star10) < 0
+
+    def test_regular_graph_degenerate(self, ring12):
+        # All degrees equal: zero variance, defined as 0.
+        assert metrics.degree_assortativity(ring12) == 0.0
+
+    def test_matches_networkx(self, rng):
+        g = erdos_renyi(rng, 40, 0.12)
+        ours = metrics.degree_assortativity(g)
+        theirs = nx.degree_assortativity_coefficient(to_networkx(g))
+        assert ours == pytest.approx(theirs, abs=1e-6)
+
+
+class TestDiameter:
+    def test_ring(self, ring12):
+        assert metrics.diameter(ring12) == 6
+
+    def test_star(self, star10):
+        assert metrics.diameter(star10) == 2
+
+    def test_sampled_lower_bound(self, er50):
+        full = metrics.diameter(er50)
+        sampled = metrics.diameter(er50, sample=10)
+        assert sampled <= full
+
+    def test_empty_rejected(self):
+        from repro.graph.graph import Graph
+
+        with pytest.raises(GraphError):
+            metrics.diameter(Graph(0, [], []))
+
+
+class TestEffectiveBandwidth:
+    def test_identity_order_ring(self):
+        g = ring_graph(10)
+        # 90% of edges have gap 1; the wrap edge has 9.
+        assert metrics.effective_bandwidth(g, 0.5) == 1.0
+        assert metrics.effective_bandwidth(g, 1.0) == 9.0
+
+    def test_quantile_bounds(self, ring12):
+        with pytest.raises(GraphError):
+            metrics.effective_bandwidth(ring12, 0.0)
+
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        assert metrics.effective_bandwidth(Graph(3, [], [])) == 0.0

@@ -1,0 +1,135 @@
+"""Heterogeneous graphs and hierarchical multi-path scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.hetero import (
+    HeteroGraph,
+    build_hetero_plan,
+    hetero_schedule_report,
+    order_types_by_connectivity,
+    random_hetero_graph,
+)
+
+
+@pytest.fixture
+def hg(rng):
+    return random_hetero_graph(rng, [25, 20, 10])
+
+
+class TestHeteroGraph:
+    def test_counts(self, hg):
+        assert hg.num_nodes == 55
+        assert hg.num_node_types == 3
+        assert np.array_equal(hg.type_counts(), [25, 20, 10])
+
+    def test_default_edge_types_canonical(self, hg):
+        a = hg.node_types[hg.graph.src]
+        b = hg.node_types[hg.graph.dst]
+        width = hg.num_node_types
+        expected = np.minimum(a, b) * width + np.maximum(a, b)
+        assert np.array_equal(hg.edge_types, expected)
+
+    def test_node_types_must_be_1d(self):
+        with pytest.raises(GraphError):
+            HeteroGraph(np.zeros((2, 2)), [0], [1])
+
+    def test_edge_types_length_check(self):
+        with pytest.raises(GraphError):
+            HeteroGraph(np.array([0, 1]), [0], [1],
+                        edge_types=np.array([0, 1]))
+
+    def test_intra_type_subgraph(self, hg):
+        sub, vmap = hg.intra_type_subgraph(0)
+        assert sub.num_nodes == 25
+        assert np.all(hg.node_types[vmap] == 0)
+        # Every subgraph edge exists in the parent between mapped nodes.
+        parent_edges = hg.graph.edge_set()
+        for s, d in zip(sub.src, sub.dst):
+            gs, gd = int(vmap[s]), int(vmap[d])
+            assert (min(gs, gd), max(gs, gd)) in parent_edges
+
+    def test_intra_type_empty_raises(self, hg):
+        with pytest.raises(GraphError):
+            hg.intra_type_subgraph(7)
+
+    def test_cross_type_edges(self, hg):
+        cross = hg.cross_type_edges()
+        a = hg.node_types[hg.graph.src[cross]]
+        b = hg.node_types[hg.graph.dst[cross]]
+        assert np.all(a != b)
+
+    def test_partition_of_edges(self, hg):
+        """Intra edges of all types + cross edges = all edges."""
+        intra = 0
+        for t in range(hg.num_node_types):
+            sub, _ = hg.intra_type_subgraph(t)
+            intra += sub.num_edges
+        assert intra + len(hg.cross_type_edges()) == hg.num_edges
+
+    def test_blocked_structure(self, rng):
+        hg = random_hetero_graph(rng, [40, 40], intra_p=0.2, inter_p=0.01)
+        counts = hg.type_connection_counts()
+        assert counts.get((0, 0), 0) > counts.get((0, 1), 0)
+
+    def test_empty_type_list_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_hetero_graph(rng, [])
+
+
+class TestTypeOrdering:
+    def test_order_is_permutation_of_present_types(self, hg):
+        order = order_types_by_connectivity(hg)
+        assert sorted(order) == [0, 1, 2]
+
+    def test_strongly_connected_types_adjacent(self, rng):
+        # Types 0 and 1 heavily connected; type 2 isolated-ish.
+        node_types = np.array([0] * 10 + [1] * 10 + [2] * 10)
+        edges = [(i, 10 + i) for i in range(10)]        # 0 <-> 1 heavy
+        edges += [(0, 20)]                              # 0 -> 2 weak
+        hg = HeteroGraph(node_types, *zip(*edges))
+        order = order_types_by_connectivity(hg)
+        assert abs(order.index(0) - order.index(1)) == 1
+
+
+class TestHeteroPlan:
+    def test_intra_coverage_full(self, hg):
+        plan = build_hetero_plan(hg)
+        assert plan.intra_coverage == pytest.approx(1.0)
+
+    def test_merged_path_covers_all_nodes(self, hg):
+        plan = build_hetero_plan(hg)
+        assert set(plan.merged_path.tolist()) == set(range(hg.num_nodes))
+
+    def test_segments_are_type_pure(self, hg):
+        plan = build_hetero_plan(hg)
+        for t, (lo, hi) in zip(plan.type_order, plan.segment_bounds):
+            segment = plan.merged_path[lo:hi]
+            assert np.all(hg.node_types[segment] == t)
+
+    def test_band_messages_are_intra_type(self, hg):
+        plan = build_hetero_plan(hg)
+        s = hg.graph.src[plan.band_edge_ids]
+        d = hg.graph.dst[plan.band_edge_ids]
+        assert np.all(hg.node_types[s] == hg.node_types[d])
+
+    def test_band_positions_map_to_edge_endpoints(self, hg):
+        plan = build_hetero_plan(hg)
+        for i, j, e in zip(plan.band_pos_src[:50], plan.band_pos_dst[:50],
+                           plan.band_edge_ids[:50]):
+            pair = {int(plan.merged_path[i]), int(plan.merged_path[j])}
+            expected = {int(hg.graph.src[e]), int(hg.graph.dst[e])}
+            assert pair == expected
+
+    def test_cross_plus_band_covers_everything(self, hg):
+        plan = build_hetero_plan(hg)
+        covered = set(plan.band_edge_ids.tolist()) | set(
+            plan.cross_edge_ids.tolist())
+        assert covered == set(range(hg.num_edges))
+
+    def test_report_keys(self, hg):
+        report = hetero_schedule_report(build_hetero_plan(hg))
+        assert report["intra_coverage"] == 1.0
+        assert 0 < report["banded_fraction"] <= 1.0
+        assert report["expansion"] >= 1.0

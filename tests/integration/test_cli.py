@@ -1,0 +1,75 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "ZINC"
+        assert args.method == "mega"
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "ZINC" in out and "CSL" in out
+
+    def test_preprocess_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "schedules.npz"
+        code = main(["preprocess", "--dataset", "ZINC", "--scale", "0.003",
+                     "--output", str(out_file)])
+        assert code == 0
+        from repro.core import load_schedules_npz
+
+        schedules = load_schedules_npz(out_file)
+        assert any(k.startswith("train/") for k in schedules)
+        first = next(iter(schedules.values()))
+        assert first.coverage == 1.0
+
+    def test_profile(self, capsys):
+        code = main(["profile", "--dataset", "ZINC", "--method", "mega",
+                     "--batch-size", "16", "--hidden-dim", "32",
+                     "--layers", "2", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mega::band" in out
+
+    def test_train(self, capsys):
+        code = main(["train", "--dataset", "ZINC", "--scale", "0.004",
+                     "--model", "GCN", "--hidden-dim", "16",
+                     "--layers", "2", "--batch-size", "16",
+                     "--epochs", "2", "--method", "baseline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch   2" in out
+
+    def test_analyze(self, capsys):
+        code = main(["analyze", "--dataset", "ZINC", "--scale", "0.003",
+                     "--count", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "locality score" in out
+        assert "coverage 100%" in out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--dataset", "ZINC", "--scale", "0.004",
+                     "--model", "GCN", "--hidden-dim", "16",
+                     "--layers", "2", "--batch-size", "16",
+                     "--epochs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out

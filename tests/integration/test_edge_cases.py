@@ -1,0 +1,141 @@
+"""Edge cases and failure injection across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import MegaConfig, PathRepresentation, traverse
+from repro.graph.batch import GraphBatch
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph, from_edge_list
+from repro.models import (
+    BaselineRuntime,
+    GatedGCN,
+    GraphTransformer,
+    MegaRuntime,
+    ModelConfig,
+)
+
+
+def tiny_graph(num_nodes, edges):
+    src = [e[0] for e in edges]
+    dst = [e[1] for e in edges]
+    return Graph(num_nodes, src, dst,
+                 node_features=np.zeros(num_nodes, dtype=np.int64),
+                 edge_features=np.zeros(len(edges), dtype=np.int64),
+                 label=0.0)
+
+
+class TestDegenerateGraphs:
+    def test_edgeless_graph_full_pipeline(self):
+        g = tiny_graph(5, [])
+        rep = PathRepresentation.from_graph(g)
+        assert rep.coverage == 1.0
+        assert rep.length == 5
+        batch = GraphBatch([g])
+        cfg = ModelConfig(hidden_dim=8, num_node_types=2,
+                          num_edge_types=1, task="regression")
+        model = GatedGCN(cfg)
+        model.eval()
+        base = model(batch, BaselineRuntime(batch)).data
+        mega = model(batch, MegaRuntime(batch, [rep])).data
+        assert np.allclose(base, mega)
+        assert np.isfinite(base).all()
+
+    def test_single_node_graph(self):
+        g = tiny_graph(1, [])
+        rep = PathRepresentation.from_graph(g)
+        assert rep.path.tolist() == [0]
+        batch = GraphBatch([g])
+        cfg = ModelConfig(hidden_dim=8, num_node_types=2,
+                          num_edge_types=1, task="regression")
+        model = GatedGCN(cfg)
+        model.eval()
+        out = model(batch, BaselineRuntime(batch))
+        assert out.shape == (1,)
+
+    def test_single_edge_graph(self):
+        g = tiny_graph(2, [(0, 1)])
+        rep = PathRepresentation.from_graph(g)
+        assert rep.coverage == 1.0
+        batch = GraphBatch([g])
+        cfg = ModelConfig(hidden_dim=8, num_heads=2, num_node_types=2,
+                          num_edge_types=1, task="regression")
+        model = GraphTransformer(cfg)
+        model.eval()
+        a = model(batch, BaselineRuntime(batch)).data
+        b = model(batch, MegaRuntime(batch, [rep])).data
+        assert np.allclose(a, b)
+
+    def test_all_self_loops(self):
+        g = tiny_graph(3, [(0, 0), (1, 1), (2, 2)])
+        rep = PathRepresentation.from_graph(g)
+        assert rep.coverage == 1.0
+        # Each loop appears once in the band, at equal positions.
+        assert np.array_equal(rep.band.pos_src, rep.band.pos_dst)
+
+    def test_mixed_sizes_batch(self, rng):
+        graphs = [tiny_graph(1, []), tiny_graph(2, [(0, 1)]),
+                  tiny_graph(6, [(i, i + 1) for i in range(5)])]
+        reps = [PathRepresentation.from_graph(g) for g in graphs]
+        batch = GraphBatch(graphs)
+        cfg = ModelConfig(hidden_dim=8, num_node_types=2,
+                          num_edge_types=1, task="regression")
+        model = GatedGCN(cfg)
+        model.eval()
+        a = model(batch, BaselineRuntime(batch)).data
+        b = model(batch, MegaRuntime(batch, reps)).data
+        assert np.allclose(a, b)
+
+
+class TestStress:
+    def test_large_sparse_traversal_terminates_quickly(self):
+        """Algorithm 1 stays near-linear on a 5000-vertex graph."""
+        import time
+
+        g = erdos_renyi(np.random.default_rng(0), 5000, 3.0 / 5000)
+        start = time.perf_counter()
+        result = traverse(g, window=2)
+        elapsed = time.perf_counter() - start
+        assert result.coverage == 1.0
+        assert elapsed < 5.0
+        assert result.length < 3 * g.num_nodes
+
+    def test_dense_graph_traversal(self):
+        g = erdos_renyi(np.random.default_rng(1), 120, 0.5)
+        result = traverse(g, window=16)
+        assert result.coverage == 1.0
+
+    def test_long_chain(self):
+        g = from_edge_list([(i, i + 1) for i in range(1999)])
+        # Starting from a peripheral vertex (an endpoint), a chain is a
+        # perfect path: no revisits at all.
+        result = traverse(g, window=1, start="peripheral")
+        assert result.coverage == 1.0
+        assert result.length == 2000
+
+
+class TestNumericalRobustness:
+    def test_large_feature_values_stay_finite(self):
+        g = tiny_graph(4, [(0, 1), (1, 2), (2, 3)])
+        batch = GraphBatch([g])
+        cfg = ModelConfig(hidden_dim=8, num_heads=2, num_node_types=2,
+                          num_edge_types=1, task="regression")
+        model = GraphTransformer(cfg)
+        model.eval()
+        # Inflate the embedding table to push the attention scores.
+        model.node_encoder.weight.data *= 1e3
+        out = model(batch, BaselineRuntime(batch))
+        assert np.isfinite(out.data).all()
+
+    def test_gradients_finite_after_many_layers(self):
+        g = tiny_graph(6, [(i, i + 1) for i in range(5)])
+        batch = GraphBatch([g])
+        cfg = ModelConfig(hidden_dim=8, num_layers=8, num_node_types=2,
+                          num_edge_types=1, task="regression")
+        model = GatedGCN(cfg)
+        loss = model.loss(model(batch, BaselineRuntime(batch)),
+                          batch.labels)
+        loss.backward()
+        for name, p in model.named_parameters():
+            if p.grad is not None:
+                assert np.isfinite(p.grad).all(), name

@@ -1,0 +1,79 @@
+"""Profiling harness: the figure-producing helpers behave sanely."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.profiling import (
+    attention_time_ratio,
+    cached_dataset,
+    cached_paths,
+    profile_configuration,
+)
+
+SCALE = 0.01
+BATCH = 32
+
+
+class TestCaches:
+    def test_dataset_memoised(self):
+        a = cached_dataset("ZINC", SCALE)
+        b = cached_dataset("zinc", SCALE)
+        assert a is b
+
+    def test_paths_memoised(self):
+        a = cached_paths("ZINC", SCALE, 8)
+        b = cached_paths("ZINC", SCALE, 8)
+        assert a is b
+        assert len(a) == 8
+
+
+class TestProfileConfiguration:
+    def test_baseline_profile(self):
+        prof = profile_configuration("ZINC", "GCN", "baseline",
+                                     batch_size=BATCH, hidden_dim=64,
+                                     scale=SCALE)
+        assert prof.total_time > 0
+        assert "dgl::gather" in prof.call_counts()
+
+    def test_mega_profile(self):
+        prof = profile_configuration("ZINC", "GCN", "mega",
+                                     batch_size=BATCH, hidden_dim=64,
+                                     scale=SCALE)
+        assert "mega::band" in prof.call_counts()
+
+    def test_unknown_method(self):
+        with pytest.raises(SimulationError):
+            profile_configuration("ZINC", "GCN", "magic",
+                                  batch_size=BATCH, scale=SCALE)
+
+    def test_batch_too_large(self):
+        with pytest.raises(SimulationError):
+            profile_configuration("ZINC", "GCN", "baseline",
+                                  batch_size=10 ** 6, scale=SCALE)
+
+    def test_mega_beats_baseline_here_too(self):
+        base = profile_configuration("AQSOL", "GT", "baseline",
+                                     batch_size=BATCH, hidden_dim=64,
+                                     scale=SCALE)
+        mega = profile_configuration("AQSOL", "GT", "mega",
+                                     batch_size=BATCH, hidden_dim=64,
+                                     scale=SCALE)
+        assert mega.total_time < base.total_time
+
+
+class TestAttentionRatio:
+    def test_ratio_above_one_for_sparse(self):
+        assert attention_time_ratio(128, 64, sparsity=0.05) > 1.0
+
+    def test_ratio_grows_with_nodes(self):
+        small = attention_time_ratio(64, 64, sparsity=0.05)
+        large = attention_time_ratio(256, 64, sparsity=0.05)
+        assert large > small
+
+    def test_sparse_pays_more_overhead_per_edge(self):
+        """Normalised by edge volume, sparse graphs pay more per edge —
+        the inefficiency Fig. 1b attributes to sparsity."""
+        dense = attention_time_ratio(128, 64, sparsity=0.3)
+        sparse = attention_time_ratio(128, 64, sparsity=0.05)
+        assert sparse / 0.05 > dense / 0.3
+        assert sparse > 1.0 and dense > 1.0

@@ -1,0 +1,107 @@
+"""LRU cache model: exact replacement behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim.cache import LRUCache
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = LRUCache(1024, 64, 4)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_line_granularity(self):
+        cache = LRUCache(1024, 64, 4)
+        cache.access(0)
+        assert cache.access(63) is True    # same line
+        assert cache.access(64) is False   # next line
+
+    def test_hit_rate(self):
+        cache = LRUCache(1024, 64, 4)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_contains(self):
+        cache = LRUCache(1024, 64, 4)
+        cache.access(128)
+        assert cache.contains(128 + 5)
+        assert not cache.contains(0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(SimulationError):
+            LRUCache(0, 64, 4)
+        with pytest.raises(SimulationError):
+            LRUCache(64, 64, 4)   # one line < associativity
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        # Fully associative: 4 lines of 64 B.
+        cache = LRUCache(256, 64, 4)
+        for line in range(4):
+            cache.access(line * 64)
+        cache.access(0)            # refresh line 0
+        cache.access(4 * 64)       # evicts line 1 (LRU)
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_capacity_respected(self):
+        cache = LRUCache(256, 64, 4)
+        for line in range(100):
+            cache.access(line * 64)
+        assert cache.occupancy <= 4
+
+    def test_set_conflicts(self):
+        # 2 sets x 2 ways; lines with equal parity collide.
+        cache = LRUCache(256, 64, 2)
+        assert cache.num_sets == 2
+        cache.access(0 * 64)
+        cache.access(2 * 64)
+        cache.access(4 * 64)   # evicts line 0 from set 0
+        assert not cache.contains(0)
+        assert cache.contains(2 * 64)
+
+
+class TestTraceAccess:
+    def test_access_many_counts(self):
+        cache = LRUCache(1024, 64, 4)
+        addrs = np.array([0, 64, 0, 64])
+        hits, misses = cache.access_many(addrs)
+        assert (hits, misses) == (2, 2)
+
+    def test_streaming_is_sequential(self):
+        cache = LRUCache(4096, 64, 4)
+        addrs = np.arange(0, 64 * 32, 64)
+        stats = cache.access_trace(addrs)
+        assert stats["misses"] == 32
+        assert stats["seq_misses"] == 31
+        assert stats["seq_all"] == 31
+
+    def test_random_has_no_sequential_runs(self):
+        cache = LRUCache(4096, 64, 4)
+        rng = np.random.default_rng(0)
+        lines = rng.permutation(1000)[:64]
+        stats = cache.access_trace(lines * 64 * 7)  # spread far apart
+        assert stats["seq_misses"] <= 2
+
+    def test_repeat_all_counts_duplicates(self):
+        cache = LRUCache(4096, 64, 4)
+        stats = cache.access_trace(np.array([0, 0, 0, 64]))
+        assert stats["repeat_all"] == 2
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = LRUCache(1024, 64, 16)   # 16 lines
+        addrs = np.tile(np.arange(0, 64 * 64, 64), 3)  # 64-line working set
+        hits, misses = cache.access_many(addrs)
+        assert hits == 0
+
+    def test_working_set_fits_cache_hits(self):
+        cache = LRUCache(64 * 64, 64, 64)
+        addrs = np.tile(np.arange(0, 64 * 16, 64), 3)
+        hits, misses = cache.access_many(addrs)
+        assert misses == 16
+        assert hits == 32

@@ -1,0 +1,140 @@
+"""Device timing model: the orderings the reproduction depends on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim.access import MemoryLayout, row_gather_trace, sequential_trace
+from repro.memsim.device import DeviceSpec, GPUDevice, GTX_1080
+from repro.memsim import kernels
+
+
+@pytest.fixture
+def device():
+    return GPUDevice()
+
+
+@pytest.fixture
+def layout():
+    lay = MemoryLayout()
+    lay.allocate("nodes", 16 * 1024 * 1024)
+    lay.allocate("path", 16 * 1024 * 1024)
+    lay.allocate("weights", 1024 * 1024)
+    lay.allocate("workspace", 64 * 1024 * 1024)
+    return lay
+
+
+class TestSpec:
+    def test_peak_flops_positive(self):
+        assert GTX_1080.peak_flops > 1e12
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(SimulationError):
+            GPUDevice(DeviceSpec(sector_bytes=0))
+
+
+class TestKernelTiming:
+    def test_launch_overhead_floor(self, device):
+        stats = device.run_kernel("noop", flops=0.0)
+        assert stats.time_s == pytest.approx(
+            device.spec.kernel_launch_us * 1e-6)
+
+    def test_compute_bound_kernel(self, device):
+        stats = device.run_kernel("math", flops=1e9)
+        expected = 1e9 / device.spec.peak_flops
+        assert stats.time_s >= expected
+
+    def test_random_gather_slower_than_stream(self, device, layout):
+        rng = np.random.default_rng(0)
+        n_rows, row = 20000, 512
+        scattered = row_gather_trace(
+            layout.base("nodes"), rng.integers(0, 30000, n_rows), row)
+        streamed = sequential_trace(layout.base("path"), n_rows * row)
+        t_scatter = device.run_kernel("g", 0.0, loads=scattered).time_s
+        device.reset()
+        t_stream = device.run_kernel("s", 0.0, loads=streamed).time_s
+        assert t_scatter > 2.0 * t_stream
+
+    def test_sorted_gather_faster_than_random(self, device, layout):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 30000, 20000)
+        t_rand = device.run_kernel(
+            "r", 0.0, loads=row_gather_trace(layout.base("nodes"), idx, 512)
+        ).time_s
+        device.reset()
+        t_sort = device.run_kernel(
+            "s", 0.0,
+            loads=row_gather_trace(layout.base("nodes"), np.sort(idx), 512)
+        ).time_s
+        assert t_sort < t_rand
+
+    def test_atomic_stores_cost_more(self, device, layout):
+        idx = np.random.default_rng(1).integers(0, 30000, 10000)
+        stores = row_gather_trace(layout.base("nodes"), idx, 512)
+        t_plain = device.run_kernel("p", 0.0, stores=stores).time_s
+        device.reset()
+        t_atomic = device.run_kernel("a", 0.0, stores=stores,
+                                     atomic_stores=True).time_s
+        assert t_atomic > t_plain
+
+    def test_imbalance_stretches_time(self, device, layout):
+        loads = sequential_trace(layout.base("nodes"), 4 * 1024 * 1024)
+        t1 = device.run_kernel("b", 0.0, loads=loads).time_s
+        device.reset()
+        t2 = device.run_kernel("b", 0.0,
+                               loads=sequential_trace(
+                                   layout.base("nodes"), 4 * 1024 * 1024),
+                               imbalance=2.0).time_s
+        assert t2 > 1.5 * t1
+
+    def test_cache_reuse_speeds_second_pass(self, device, layout):
+        small = sequential_trace(layout.base("weights"), 512 * 1024)
+        first = device.run_kernel("w", 0.0, loads=small)
+        second = device.run_kernel(
+            "w", 0.0, loads=sequential_trace(layout.base("weights"),
+                                             512 * 1024))
+        assert second.l2_misses < first.l2_misses
+
+    def test_sm_efficiency_stream_high_scatter_low(self, device, layout):
+        rng = np.random.default_rng(2)
+        scattered = row_gather_trace(
+            layout.base("nodes"), rng.integers(0, 30000, 20000), 512)
+        s1 = device.run_kernel("scatter", 0.0, loads=scattered)
+        device.reset()
+        streamed = sequential_trace(layout.base("path"), 20000 * 512)
+        s2 = device.run_kernel("stream", 0.0, loads=streamed)
+        assert s2.sm_efficiency > s1.sm_efficiency
+        assert s1.memory_stall_pct > s2.memory_stall_pct
+
+
+class TestMemcpy:
+    def test_pcie_rate(self, device):
+        stats = device.memcpy(12e9 / 10)   # 1/10th second of PCIe traffic
+        assert stats.time_s == pytest.approx(0.1, rel=0.01)
+
+    def test_counts_as_memory_time(self, device):
+        assert device.memcpy(1024).sm_efficiency == 0.0
+
+
+class TestKernelLibrary:
+    def test_sgemm_compute_bound_efficiency(self, device, layout):
+        stats = kernels.sgemm(device, layout, 8192, 512, 512)
+        assert stats.sm_efficiency > 0.8
+        assert stats.flops == 2.0 * 8192 * 512 * 512
+
+    def test_band_gather_efficient(self, device, layout):
+        stats = kernels.band_gather(device, layout, "path", 20000, 3, 128)
+        assert stats.sm_efficiency > 0.5
+
+    def test_gather_kernel_records_transactions(self, device, layout):
+        idx = np.arange(1000)
+        stats = kernels.gather_rows(device, layout, "nodes", idx, 128)
+        assert stats.load_transactions == 1000 * (128 * 4 // 128)
+
+    def test_cub_sort_passes(self, device, layout):
+        stats = kernels.cub_sort(device, layout, 10000)
+        assert stats.load_transactions > 0
+
+    def test_elementwise_streams(self, device, layout):
+        stats = kernels.elementwise(device, layout, 10000, 128)
+        assert stats.memory_stall_pct < 0.6

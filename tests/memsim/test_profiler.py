@@ -1,0 +1,88 @@
+"""Profiler aggregation and the paper's normalised metric."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim.device import KernelStats
+from repro.memsim.profiler import KernelAggregate, Profiler
+
+
+def make_stats(name, time_s=1.0, sm=0.5, stall=0.2, loads=10):
+    return KernelStats(
+        name=name, time_s=time_s, flops=1.0,
+        load_transactions=loads, store_transactions=5,
+        l2_hits=6, l2_misses=4, dram_bytes=100.0,
+        sm_efficiency=sm, memory_stall_pct=stall)
+
+
+class TestAggregation:
+    def test_by_kernel_groups(self):
+        prof = Profiler()
+        prof.record(make_stats("a"))
+        prof.record(make_stats("a"))
+        prof.record(make_stats("b"))
+        aggs = prof.by_kernel()
+        assert aggs["a"].calls == 2
+        assert aggs["b"].calls == 1
+
+    def test_total_time(self):
+        prof = Profiler()
+        prof.extend([make_stats("a", 1.0), make_stats("b", 2.0)])
+        assert prof.total_time == pytest.approx(3.0)
+
+    def test_mean_sm_efficiency(self):
+        prof = Profiler()
+        prof.record(make_stats("a", sm=0.2))
+        prof.record(make_stats("a", sm=0.8))
+        assert prof.by_kernel()["a"].sm_efficiency == pytest.approx(0.5)
+
+    def test_l2_hit_rate(self):
+        agg = KernelAggregate("x")
+        agg.add(make_stats("x"))
+        assert agg.l2_hit_rate == pytest.approx(0.6)
+
+
+class TestPaperMetric:
+    def test_call_weighted_average(self):
+        """Metric = Σ metric_k · n_k / Σ n_k (Section IV-B2)."""
+        prof = Profiler()
+        prof.record(make_stats("a", sm=1.0))
+        prof.record(make_stats("a", sm=1.0))
+        prof.record(make_stats("b", sm=0.1))
+        # a: mean 1.0 with 2 calls; b: 0.1 with 1 call.
+        expected = (1.0 * 2 + 0.1 * 1) / 3
+        assert prof.normalized_metric("sm_efficiency") == pytest.approx(expected)
+
+    def test_empty_profiler_raises(self):
+        with pytest.raises(SimulationError):
+            Profiler().normalized_metric("sm_efficiency")
+
+
+class TestReports:
+    def test_time_percentages_sum_to_one(self):
+        prof = Profiler()
+        prof.extend([make_stats("a", 1.0), make_stats("b", 3.0)])
+        pct = prof.time_percentages()
+        assert sum(pct.values()) == pytest.approx(1.0)
+        assert pct["b"] == pytest.approx(0.75)
+
+    def test_time_percentages_empty(self):
+        assert Profiler().time_percentages() == {}
+
+    def test_call_counts(self):
+        prof = Profiler()
+        prof.extend([make_stats("a"), make_stats("a"), make_stats("c")])
+        assert prof.call_counts() == {"a": 2, "c": 1}
+
+    def test_global_loads(self):
+        prof = Profiler()
+        prof.record(make_stats("a", loads=7))
+        prof.record(make_stats("a", loads=3))
+        assert prof.global_loads()["a"] == 10
+
+    def test_summary_sorted_by_time(self):
+        prof = Profiler()
+        prof.extend([make_stats("fast", 0.1), make_stats("slow", 5.0)])
+        rows = prof.summary()
+        assert rows[0]["kernel"] == "slow"
+        assert rows[0]["time_pct"] > rows[1]["time_pct"]

@@ -1,0 +1,123 @@
+"""Property-based tests of the GPU simulator (hypothesis).
+
+These pin down the monotonicity and ordering properties the benchmark
+conclusions rest on — if any of these break, speedup numbers become
+artefacts of the model rather than of the schedules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim import GPUDevice, MemoryLayout
+from repro.memsim.access import row_gather_trace, sequential_trace
+
+
+def fresh(region_mb=16):
+    layout = MemoryLayout()
+    layout.allocate("data", region_mb * 1024 * 1024)
+    return GPUDevice(), layout
+
+
+@settings(max_examples=20, deadline=None)
+@given(nbytes=st.integers(4096, 4 * 1024 * 1024))
+def test_more_bytes_more_time(nbytes):
+    device, layout = fresh()
+    t1 = device.run_kernel(
+        "a", 0.0, loads=sequential_trace(layout.base("data"), nbytes)).time_s
+    device.reset()
+    t2 = device.run_kernel(
+        "b", 0.0,
+        loads=sequential_trace(layout.base("data"), 2 * nbytes)).time_s
+    assert t2 >= t1
+
+
+@settings(max_examples=20, deadline=None)
+@given(flops=st.floats(1e6, 1e12))
+def test_more_flops_more_time(flops):
+    device, _ = fresh()
+    t1 = device.run_kernel("a", flops).time_s
+    t2 = device.run_kernel("b", 2 * flops).time_s
+    assert t2 >= t1
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows=st.integers(500, 20000), seed=st.integers(0, 100))
+def test_sorted_never_slower_than_shuffled(rows, seed):
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, 100000, size=rows)
+    device, layout = fresh(64)
+    t_rand = device.run_kernel(
+        "r", 0.0,
+        loads=row_gather_trace(layout.base("data"), idx, 256)).time_s
+    device.reset()
+    t_sort = device.run_kernel(
+        "s", 0.0,
+        loads=row_gather_trace(layout.base("data"), np.sort(idx), 256)).time_s
+    assert t_sort <= t_rand * 1.001
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows=st.integers(500, 10000), seed=st.integers(0, 100))
+def test_atomic_never_faster(rows, seed):
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, 50000, size=rows)
+    device, layout = fresh(32)
+    stores = row_gather_trace(layout.base("data"), idx, 256)
+    t_plain = device.run_kernel("p", 0.0, stores=stores).time_s
+    device.reset()
+    stores = row_gather_trace(layout.base("data"), idx, 256)
+    t_atomic = device.run_kernel("a", 0.0, stores=stores,
+                                 atomic_stores=True).time_s
+    assert t_atomic >= t_plain
+
+
+@settings(max_examples=15, deadline=None)
+@given(imbalance=st.floats(1.0, 4.0))
+def test_imbalance_monotone(imbalance):
+    device, layout = fresh()
+    loads = sequential_trace(layout.base("data"), 1024 * 1024)
+    t1 = device.run_kernel("a", 0.0, loads=loads).time_s
+    device.reset()
+    loads = sequential_trace(layout.base("data"), 1024 * 1024)
+    t2 = device.run_kernel("b", 0.0, loads=loads,
+                           imbalance=imbalance).time_s
+    assert t2 >= t1 * 0.999
+
+
+@settings(max_examples=15, deadline=None)
+@given(items=st.floats(100, 1e7))
+def test_utilization_never_negative_effect(items):
+    """Declaring parallel work never *speeds up* a kernel."""
+    device, _ = fresh()
+    t_full = device.run_kernel("a", 1e9).time_s
+    t_util = device.run_kernel("b", 1e9, parallel_items=items).time_s
+    assert t_util >= t_full * 0.999
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_sm_efficiency_bounded(seed):
+    rng = np.random.default_rng(seed)
+    device, layout = fresh()
+    idx = rng.integers(0, 10000, size=2000)
+    stats = device.run_kernel(
+        "k", float(rng.integers(0, 10 ** 9)),
+        loads=row_gather_trace(layout.base("data"), idx, 128))
+    assert 0.0 <= stats.sm_efficiency <= 1.0
+    assert 0.0 <= stats.memory_stall_pct <= 1.0
+
+
+def test_trace_subset_fewer_misses():
+    """Feeding a prefix of a trace can only miss less."""
+    device, layout = fresh()
+    rng = np.random.default_rng(3)
+    idx = rng.integers(0, 100000, size=5000)
+    full = device.run_kernel(
+        "f", 0.0, loads=row_gather_trace(layout.base("data"), idx, 256))
+    device.reset()
+    half = device.run_kernel(
+        "h", 0.0,
+        loads=row_gather_trace(layout.base("data"), idx[:2500], 256))
+    assert half.l2_misses <= full.l2_misses

@@ -1,0 +1,114 @@
+"""Property-based tests of the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+floats = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False,
+                   width=64)
+
+
+def small_arrays(max_rows=6, max_cols=5):
+    shapes = st.tuples(st.integers(1, max_rows), st.integers(1, max_cols))
+    return shapes.flatmap(lambda s: arrays(np.float64, s, elements=floats))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(-3, 3, allow_nan=False))
+def test_scaling_linearity(data, alpha):
+    """grad(α·sum(x)) == α · grad(sum(x))."""
+    x = Tensor(data.copy(), requires_grad=True)
+    (x * alpha).sum().backward()
+    assert np.allclose(x.grad, alpha, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_grad_splits_evenly(data):
+    a = Tensor(data.copy(), requires_grad=True)
+    b = Tensor(data.copy(), requires_grad=True)
+    (a + b).sum().backward()
+    assert np.allclose(a.grad, 1.0)
+    assert np.allclose(b.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_softmax_rows_simplex(data):
+    out = F.softmax(Tensor(data), axis=-1).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent(data):
+    once = F.relu(Tensor(data)).data
+    twice = F.relu(Tensor(once)).data
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_exp_log_inverse(data):
+    x = np.abs(data) + 0.5
+    back = Tensor(x).log().exp().data
+    assert np.allclose(back, x, rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_rows=8, max_cols=4),
+       st.integers(1, 5))
+def test_gather_then_segment_sum_preserves_mass(data, num_draws):
+    """Scatter+gather round trip: total mass is conserved."""
+    rng = np.random.default_rng(0)
+    rows = data.shape[0]
+    idx = rng.integers(0, rows, size=num_draws * rows)
+    x = Tensor(data.copy())
+    gathered = F.gather_rows(x, idx)
+    back = F.segment_sum(gathered, idx, rows)
+    counts = np.bincount(idx, minlength=rows).astype(float)
+    assert np.allclose(back.data, data * counts[:, None])
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_mean_equals_sum_over_size(data):
+    x = Tensor(data)
+    assert np.allclose(x.mean().item(), x.sum().item() / data.size)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_transpose_involution(data):
+    x = Tensor(data)
+    assert np.allclose(x.T.T.data, data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_rows=5, max_cols=5))
+def test_matmul_identity(data):
+    x = Tensor(data)
+    eye = Tensor(np.eye(data.shape[1]))
+    assert np.allclose((x @ eye).data, data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, st.integers(2, 30), elements=floats))
+def test_segment_softmax_single_segment_matches_softmax(vec):
+    ids = np.zeros(len(vec), dtype=np.int64)
+    a = F.segment_softmax(Tensor(vec.copy()), ids, 1).data
+    b = F.softmax(Tensor(vec.copy()), axis=-1).data
+    assert np.allclose(a, b, atol=1e-9)

@@ -1,0 +1,62 @@
+"""min / var / std reductions."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+from tests.conftest import numeric_gradient
+
+
+class TestMin:
+    def test_value(self):
+        x = Tensor(np.array([[3.0, 1.0], [2.0, 5.0]]))
+        assert x.min().item() == 1.0
+        assert np.allclose(x.min(axis=0).data, [2.0, 1.0])
+
+    def test_grad_routes_to_argmin(self):
+        x = Tensor(np.array([3.0, 1.0, 2.0]), requires_grad=True)
+        x.min().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestVar:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(4, 5))
+        x = Tensor(data)
+        assert np.allclose(x.var().item(), data.var())
+        assert np.allclose(x.var(axis=1).data, data.var(axis=1))
+
+    def test_constant_has_zero_variance(self):
+        assert Tensor(np.full(7, 3.0)).var().item() == pytest.approx(0.0)
+
+    def test_grad(self):
+        rng = np.random.default_rng(1)
+        x0 = rng.normal(size=(6,))
+
+        def f(arr):
+            return float(Tensor(arr.copy(), requires_grad=True)
+                         .var().data.sum())
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        x.var().backward()
+        num = numeric_gradient(f, x0)
+        assert np.allclose(x.grad, num, atol=1e-6)
+
+
+class TestStd:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(2.0, 3.0, size=50)
+        assert Tensor(data).std().item() == pytest.approx(data.std())
+
+    def test_eps_stabilises(self):
+        x = Tensor(np.zeros(4), requires_grad=True)
+        out = x.std(eps=1e-8)
+        out.backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_keepdims(self):
+        x = Tensor(np.ones((2, 3)))
+        assert x.std(axis=1, keepdims=True).shape == (2, 1)

@@ -1,0 +1,135 @@
+"""Trainer: fitting, evaluation, clock accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MegaConfig
+from repro.datasets import load_dataset
+from repro.errors import ConfigError
+from repro.train import Trainer, build_model
+from repro.train.clock import EpochCostModel
+from repro.train.metrics import EpochRecord, History, speedup_to_target
+
+
+@pytest.fixture(scope="module")
+def zinc():
+    return load_dataset("ZINC", scale=0.006)
+
+
+@pytest.fixture(scope="module")
+def csl():
+    return load_dataset("CSL", scale=0.3)
+
+
+class TestBuildModel:
+    def test_unknown_model(self, zinc):
+        with pytest.raises(ConfigError):
+            build_model("GIN", zinc)
+
+    def test_builds_all(self, zinc):
+        for name in ("GCN", "GT", "GAT"):
+            model = build_model(name, zinc, hidden_dim=16, num_layers=2)
+            assert model.model_name == name
+
+
+class TestTrainer:
+    def test_unknown_method(self, zinc):
+        model = build_model("GCN", zinc, hidden_dim=16, num_layers=2)
+        with pytest.raises(ConfigError):
+            Trainer(model, zinc, method="turbo")
+
+    def test_fit_regression(self, zinc):
+        model = build_model("GCN", zinc, hidden_dim=16, num_layers=2)
+        trainer = Trainer(model, zinc, method="baseline", batch_size=16,
+                          lr=3e-3)
+        history = trainer.fit(4)
+        assert len(history.records) == 4
+        assert history.records[-1].train_loss < history.records[0].train_loss
+
+    def test_clock_monotone(self, zinc):
+        model = build_model("GCN", zinc, hidden_dim=16, num_layers=2)
+        trainer = Trainer(model, zinc, method="baseline", batch_size=16)
+        history = trainer.fit(3)
+        times = history.sim_times
+        assert np.all(np.diff(times) > 0)
+
+    def test_mega_preprocessing_recorded(self, zinc):
+        model = build_model("GCN", zinc, hidden_dim=16, num_layers=2)
+        trainer = Trainer(model, zinc, method="mega", batch_size=16)
+        assert trainer.preprocess_s > 0
+        history = trainer.fit(1)
+        assert history.records[0].preprocess_s == trainer.preprocess_s
+
+    def test_mega_epoch_cheaper(self, zinc):
+        base = Trainer(build_model("GCN", zinc, hidden_dim=32, num_layers=3),
+                       zinc, method="baseline", batch_size=32)
+        mega = Trainer(build_model("GCN", zinc, hidden_dim=32, num_layers=3),
+                       zinc, method="mega", batch_size=32)
+        assert (mega._epoch_cost_seconds("train")
+                < base._epoch_cost_seconds("train"))
+
+    def test_evaluate_classification(self, csl):
+        model = build_model("GCN", csl, hidden_dim=16, num_layers=2)
+        trainer = Trainer(model, csl, method="baseline", batch_size=16)
+        acc = trainer.evaluate("validation")
+        assert 0.0 <= acc <= 1.0
+
+    def test_target_metric_stops_early(self, zinc):
+        model = build_model("GCN", zinc, hidden_dim=16, num_layers=2)
+        trainer = Trainer(model, zinc, method="baseline", batch_size=16)
+        history = trainer.fit(50, target_metric=1e9)  # reached immediately
+        assert len(history.records) == 1
+
+
+class TestEpochCostModel:
+    def test_invalid_method(self):
+        with pytest.raises(Exception):
+            EpochCostModel("GCN", "warp", 16, 2, 8)
+
+    def test_cache_key_reuses(self, zinc):
+        cm = EpochCostModel("GCN", "baseline", 16, 2, batch_size=16)
+        a = cm.measure(zinc.train, cache_key="train")
+        b = cm.measure(zinc.train, cache_key="train")
+        assert a is b
+
+    def test_epoch_seconds_scale_with_batches(self, zinc):
+        cm = EpochCostModel("GCN", "baseline", 16, 2, batch_size=16)
+        cost = cm.measure(zinc.train)
+        assert cost.num_batches == int(np.ceil(len(zinc.train) / 16))
+        assert cost.epoch_seconds == pytest.approx(
+            cost.batch_seconds * cost.num_batches)
+
+
+class TestHistory:
+    def make_history(self, task, metrics):
+        h = History(method="m", model_name="GCN", dataset_name="D", task=task)
+        for i, m in enumerate(metrics):
+            h.add(EpochRecord(epoch=i + 1, sim_time_s=float(i + 1),
+                              train_loss=1.0, val_metric=m,
+                              learning_rate=1e-3))
+        return h
+
+    def test_best_metric_regression(self):
+        h = self.make_history("regression", [3.0, 1.0, 2.0])
+        assert h.best_metric() == 1.0
+
+    def test_best_metric_classification(self):
+        h = self.make_history("classification", [0.3, 0.9, 0.8])
+        assert h.best_metric() == 0.9
+
+    def test_time_to_metric(self):
+        h = self.make_history("regression", [3.0, 1.0, 0.5])
+        assert h.time_to_metric(1.5) == 2.0
+        assert h.time_to_metric(0.1) is None
+
+    def test_speedup_to_target(self):
+        fast = self.make_history("regression", [2.0, 0.5])
+        slow = self.make_history("regression", [3.0, 2.0, 1.0, 0.5])
+        s = speedup_to_target(fast, slow)
+        assert s > 1.0
+
+    def test_speedup_mismatched_tasks(self):
+        fast = self.make_history("regression", [1.0])
+        slow = self.make_history("classification", [0.5])
+        with pytest.raises(ValueError):
+            speedup_to_target(fast, slow)
