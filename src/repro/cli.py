@@ -36,6 +36,26 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batch-size", type=int, default=64)
 
 
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="preprocessing worker processes")
+    parser.add_argument("--cache-dir", default=None,
+                        help="schedule cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/schedules)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent schedule cache")
+
+
+def _resolve_cache_dir(args: argparse.Namespace):
+    """Directory for the schedule cache, or None when caching is off."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    from repro.pipeline import default_cache_dir
+    return default_cache_dir()
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.datasets import load_dataset
     from repro.datasets.statistics import table_three_row, table_two_row
@@ -58,23 +78,22 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_preprocess(args: argparse.Namespace) -> int:
-    from repro.core import MegaConfig, PathRepresentation, save_schedules_npz
+    from repro.core import MegaConfig, save_schedules_npz
     from repro.datasets import load_dataset
 
     ds = load_dataset(args.dataset, scale=args.scale)
     config = MegaConfig(window=args.window, coverage=args.coverage)
     start = time.perf_counter()
-    schedules = {}
-    expansions = []
-    for split, graphs in ds.splits.items():
-        for i, g in enumerate(graphs):
-            rep = PathRepresentation.from_graph(g, config)
-            schedules[f"{split}/{i}"] = rep.schedule
-            expansions.append(rep.expansion)
+    pre = ds.precompute(config, workers=args.workers,
+                        cache_dir=_resolve_cache_dir(args))
     elapsed = time.perf_counter() - start
+    schedules = pre.flat_schedules()
+    expansions = [rep.expansion
+                  for reps in pre.paths.values() for rep in reps]
     save_schedules_npz(schedules, args.output)
     print(f"scheduled {len(schedules)} graphs in {elapsed:.2f}s "
           f"(mean expansion {np.mean(expansions):.2f}) -> {args.output}")
+    print(pre.stats.summary_line())
     return 0
 
 
@@ -107,7 +126,9 @@ def cmd_train(args: argparse.Namespace) -> int:
     model = build_model(args.model, ds, hidden_dim=args.hidden_dim,
                         num_layers=args.layers)
     trainer = Trainer(model, ds, method=args.method,
-                      batch_size=args.batch_size, lr=args.lr)
+                      batch_size=args.batch_size, lr=args.lr,
+                      workers=args.workers,
+                      cache_dir=_resolve_cache_dir(args))
     history = trainer.fit(args.epochs)
     metric = "acc" if ds.task == "classification" else "MAE"
     for rec in history.records:
@@ -116,6 +137,8 @@ def cmd_train(args: argparse.Namespace) -> int:
               f"clock {rec.sim_time_s:.4f}s")
     if trainer.preprocess_s:
         print(f"preprocessing: {trainer.preprocess_s:.2f}s wall (one-time)")
+    if trainer.pipeline_stats is not None:
+        print(trainer.pipeline_stats.summary_line())
     return 0
 
 
@@ -141,7 +164,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     result = run_convergence(ds, args.model, hidden_dim=args.hidden_dim,
                              num_layers=args.layers,
                              batch_size=args.batch_size,
-                             num_epochs=args.epochs, lr=args.lr)
+                             num_epochs=args.epochs, lr=args.lr,
+                             workers=args.workers,
+                             cache_dir=_resolve_cache_dir(args))
     base = result.baseline.records[-1]
     mega = result.mega.records[-1]
     print(f"{args.dataset} + {args.model}: "
@@ -150,6 +175,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(f"convergence speedup: {result.speedup:.2f}x, final metric "
           f"{result.final_metric_baseline:.4f} / "
           f"{result.final_metric_mega:.4f}")
+    if result.pipeline_stats is not None:
+        print(result.pipeline_stats.summary_line())
     return 0
 
 
@@ -164,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("preprocess", help="build and save MEGA schedules")
     _add_dataset_args(p)
+    _add_pipeline_args(p)
     p.add_argument("--window", type=int, default=None)
     p.add_argument("--coverage", type=float, default=1.0)
     p.add_argument("--output", default="schedules.npz")
@@ -180,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="train one model")
     _add_dataset_args(p)
     _add_model_args(p)
+    _add_pipeline_args(p)
     p.add_argument("--method", default="mega", choices=METHODS[:2])
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--lr", type=float, default=1e-3)
@@ -194,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="baseline vs MEGA summary")
     _add_dataset_args(p)
     _add_model_args(p)
+    _add_pipeline_args(p)
     p.add_argument("--epochs", type=int, default=8)
     p.add_argument("--lr", type=float, default=3e-3)
     p.set_defaults(func=cmd_compare)

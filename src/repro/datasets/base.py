@@ -1,14 +1,40 @@
-"""Dataset container and split handling."""
+"""Dataset container, split handling, and the batch-preprocessing hook."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.config import MegaConfig
+    from repro.core.diagonal import AttentionPlan
+    from repro.core.path import PathRepresentation
+    from repro.core.schedule import TraversalResult
+    from repro.pipeline.stats import PipelineStats
+
+
+@dataclass
+class DatasetSchedules:
+    """Per-split preprocessing artifacts from :meth:`GraphDataset.precompute`.
+
+    ``paths[split][i]`` / ``plans[split][i]`` align with the dataset's
+    split lists; ``stats`` carries the pipeline's cache counters.
+    """
+
+    paths: Dict[str, List["PathRepresentation"]]
+    plans: Dict[str, List["AttentionPlan"]]
+    stats: "PipelineStats"
+
+    def flat_schedules(self) -> Dict[str, "TraversalResult"]:
+        """``{"split/i": TraversalResult}`` — the CLI's archive layout."""
+        return {f"{split}/{i}": rep.schedule
+                for split, reps in self.paths.items()
+                for i, rep in enumerate(reps)}
 
 
 @dataclass
@@ -57,6 +83,31 @@ class GraphDataset:
 
     def all_graphs(self) -> List[Graph]:
         return self.train + self.validation + self.test
+
+    def precompute(self, config: Optional["MegaConfig"] = None, *,
+                   workers: int = 1, cache=None, cache_dir=None,
+                   max_bytes: Optional[int] = None) -> DatasetSchedules:
+        """Run MEGA preprocessing for every graph in every split.
+
+        Delegates to :func:`repro.pipeline.precompute_paths`: misses fan
+        out across ``workers`` processes and, when ``cache`` or
+        ``cache_dir`` is given, schedules persist on disk so later
+        processes skip the traversal entirely.
+        """
+        from repro.pipeline import precompute_paths
+
+        result = precompute_paths(
+            self.all_graphs(), config, workers=workers,
+            cache=cache, cache_dir=cache_dir, max_bytes=max_bytes)
+        paths: Dict[str, List] = {}
+        plans: Dict[str, List] = {}
+        cursor = 0
+        for split, graphs in self.splits.items():
+            paths[split] = result.paths[cursor:cursor + len(graphs)]
+            plans[split] = result.plans[cursor:cursor + len(graphs)]
+            cursor += len(graphs)
+        return DatasetSchedules(paths=paths, plans=plans,
+                                stats=result.stats)
 
     def __repr__(self) -> str:
         return (f"GraphDataset({self.name}, task={self.task}, "

@@ -82,7 +82,12 @@ def connected_components(graph: Graph) -> List[np.ndarray]:
 
 
 def is_connected(graph: Graph) -> bool:
-    return len(connected_components(graph)) <= 1 or graph.num_nodes == 0
+    """True when the graph has at most one connected component.
+
+    The empty graph has zero components and is vacuously connected, so
+    a single comparison covers it — no special case needed.
+    """
+    return len(connected_components(graph)) <= 1
 
 
 def bfs_distances(graph: Graph, start: int) -> np.ndarray:

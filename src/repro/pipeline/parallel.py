@@ -1,0 +1,180 @@
+"""Batch schedule construction: fan Algorithm 1 out, merge deterministically.
+
+The traversal is pure CPU work with no shared state, so the pipeline
+chunks the graph list, runs chunks under a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and reassembles
+results **in input order** — ``workers=4`` output is byte-identical to
+``workers=1`` (asserted in ``tests/pipeline/test_parallel.py``).
+
+With a :class:`~repro.pipeline.cache.ScheduleCache` attached, the parent
+process probes the cache first, fans out only the misses, and writes the
+new entries itself (single-writer discipline; see ``cache.py``).
+Structurally identical graphs share a cache key and are computed once
+per run.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import MegaConfig
+from repro.core.diagonal import AttentionPlan, make_attention_plan
+from repro.core.path import PathRepresentation
+from repro.core.schedule import TraversalResult
+from repro.graph.graph import Graph
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.hashing import schedule_cache_key
+from repro.pipeline.stats import CacheStats, PipelineStats
+
+
+def compute_schedule(graph: Graph, config: Optional[MegaConfig] = None
+                     ) -> Tuple[TraversalResult, AttentionPlan]:
+    """Run the full preprocessing for one graph (worker body)."""
+    config = config or MegaConfig()
+    rep = PathRepresentation.from_graph(graph, config)
+    plan = make_attention_plan(rep, symmetric_reuse=config.symmetric_reuse)
+    return rep.schedule, plan
+
+
+def materialise(graph: Graph, config: MegaConfig,
+                result: TraversalResult) -> PathRepresentation:
+    """Reattach a (possibly cached) schedule to its graph.
+
+    Edge dropping is re-derived from ``config.seed`` exactly as
+    :meth:`PathRepresentation.from_graph` does, so the representation is
+    bound to the same working graph the schedule was computed on.
+    """
+    work = graph
+    if config.edge_drop > 0.0:
+        from repro.core.edge_drop import drop_edges
+        rng = np.random.default_rng(config.seed)
+        work = drop_edges(graph, config.edge_drop, rng)
+    return PathRepresentation(work, result)
+
+
+def _compute_chunk(payload: Tuple[MegaConfig, List[Graph]]
+                   ) -> List[Tuple[TraversalResult, AttentionPlan]]:
+    """Top-level (picklable) worker: schedule every graph in the chunk."""
+    config, graphs = payload
+    return [compute_schedule(g, config) for g in graphs]
+
+
+def _make_chunks(items: Sequence, workers: int) -> List[List]:
+    """Contiguous chunks, ~4 per worker for load balance, order kept."""
+    target = max(1, -(-len(items) // (workers * 4)))
+    return [list(items[i:i + target])
+            for i in range(0, len(items), target)]
+
+
+@dataclass
+class PipelineResult:
+    """Output of :func:`precompute_paths`, in input-graph order."""
+
+    paths: List[PathRepresentation]
+    plans: List[AttentionPlan]
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+    @property
+    def schedules(self) -> List[TraversalResult]:
+        return [p.schedule for p in self.paths]
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+
+def precompute_paths(graphs: Sequence[Graph],
+                     config: Optional[MegaConfig] = None, *,
+                     workers: int = 1,
+                     cache: Optional[ScheduleCache] = None,
+                     cache_dir=None,
+                     max_bytes: Optional[int] = None) -> PipelineResult:
+    """Build path representations + attention plans for many graphs.
+
+    Parameters
+    ----------
+    graphs:
+        Input graphs; output lists follow this order exactly.
+    config:
+        Shared :class:`MegaConfig` (defaults used when ``None``).
+    workers:
+        Process count for the miss set; ``1`` computes inline.
+    cache / cache_dir / max_bytes:
+        Pass an existing :class:`ScheduleCache`, or a directory (plus
+        optional LRU cap) to open one.  Both ``None`` disables caching.
+    """
+    t_start = time.perf_counter()
+    config = config or MegaConfig()
+    graphs = list(graphs)
+    workers = max(1, int(workers))
+    if cache is None and cache_dir is not None:
+        cache = ScheduleCache(cache_dir, max_bytes=max_bytes)
+    stats = PipelineStats(num_graphs=len(graphs), workers=workers)
+    counters_before = cache.stats.as_dict() if cache is not None else None
+
+    n = len(graphs)
+    results: List[Optional[Tuple[TraversalResult, AttentionPlan]]] = [None] * n
+
+    # Group structurally identical graphs: one compute per distinct key.
+    if cache is not None:
+        keys = [schedule_cache_key(g, config) for g in graphs]
+        groups: Dict[str, List[int]] = {}
+        for i, key in enumerate(keys):
+            groups.setdefault(key, []).append(i)
+        stats.deduplicated = n - len(groups)
+        miss_keys: List[str] = []
+        for key, members in groups.items():
+            entry = cache.get(key)
+            if entry is not None:
+                for i in members:
+                    results[i] = entry
+            else:
+                miss_keys.append(key)
+        todo = [groups[k][0] for k in miss_keys]
+    else:
+        keys = None
+        miss_keys = []
+        todo = list(range(n))
+
+    # Fan the misses out (or compute inline for workers=1 / tiny sets).
+    t_compute = time.perf_counter()
+    miss_graphs = [graphs[i] for i in todo]
+    if workers == 1 or len(miss_graphs) <= 1:
+        computed = [compute_schedule(g, config) for g in miss_graphs]
+    else:
+        chunks = _make_chunks(miss_graphs, workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunk_results = list(
+                pool.map(_compute_chunk,
+                         [(config, chunk) for chunk in chunks]))
+        computed = [item for chunk in chunk_results for item in chunk]
+    stats.compute_s = time.perf_counter() - t_compute
+    stats.computed = len(computed)
+
+    # Deterministic merge + single-writer cache population.
+    if cache is not None:
+        for key, rep_idx, entry in zip(miss_keys, todo, computed):
+            cache.put(key, *entry, flush=False)
+            for i in groups[key]:
+                results[i] = entry
+        cache.flush()
+        # Report only this run's counters even on a shared cache object.
+        after = cache.stats.as_dict()
+        stats.cache = CacheStats(**{k: after[k] - counters_before[k]
+                                    for k in after})
+        missed = set(miss_keys)
+        stats.from_cache = sum(
+            len(m) for k, m in groups.items() if k not in missed)
+    else:
+        for idx, entry in zip(todo, computed):
+            results[idx] = entry
+
+    paths = [materialise(g, config, res[0])
+             for g, res in zip(graphs, results)]
+    plans = [res[1] for res in results]
+    stats.total_s = time.perf_counter() - t_start
+    return PipelineResult(paths=paths, plans=plans, stats=stats)

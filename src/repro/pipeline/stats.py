@@ -1,0 +1,89 @@
+"""Counters for the preprocessing pipeline.
+
+Cache behaviour is part of the pipeline's observable contract — the CLI
+prints these counters after every ``preprocess``/``train``/``compare``
+run so a cold run (all misses) and a warm run (all hits) are
+distinguishable without profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one :class:`ScheduleCache`.
+
+    Attributes
+    ----------
+    hits:
+        Entries served from disk with a verified checksum.
+    misses:
+        Keys not present in the cache (schedule had to be computed).
+    invalidations:
+        Entries that existed but were discarded — checksum mismatch,
+        unreadable archive, or payload-version drift.  Each invalidation
+        also counts as a miss (the schedule is recomputed).
+    evictions:
+        Entries removed by the LRU size cap.
+    puts:
+        Entries written.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Elementwise sum (accumulating across splits or runs)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            invalidations=self.invalidations + other.invalidations,
+            evictions=self.evictions + other.evictions,
+            puts=self.puts + other.puts)
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions, "puts": self.puts}
+
+
+@dataclass
+class PipelineStats:
+    """One pipeline run: cache counters plus wall-clock accounting.
+
+    ``compute_s`` is the time spent inside Algorithm 1 (inline or across
+    workers); ``total_s`` additionally includes cache probing, payload
+    (de)serialisation and result materialisation.
+    """
+
+    cache: CacheStats = field(default_factory=CacheStats)
+    num_graphs: int = 0
+    computed: int = 0
+    from_cache: int = 0
+    deduplicated: int = 0
+    workers: int = 1
+    compute_s: float = 0.0
+    total_s: float = 0.0
+
+    def summary_line(self) -> str:
+        """One-line report for CLI output."""
+        cached = "off" if self.cache.lookups == 0 and self.from_cache == 0 \
+            else (f"{self.cache.hits} hits / {self.cache.misses} misses"
+                  + (f" / {self.cache.invalidations} invalidated"
+                     if self.cache.invalidations else ""))
+        return (f"pipeline: {self.num_graphs} graphs, "
+                f"{self.computed} computed ({self.workers} workers), "
+                f"cache {cached}, {self.total_s:.2f}s")

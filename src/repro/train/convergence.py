@@ -31,6 +31,7 @@ class ConvergenceResult:
     speedup: float
     final_metric_baseline: float
     final_metric_mega: float
+    pipeline_stats: Optional[object] = None
 
 
 def run_convergence(dataset: GraphDataset, model_name: str,
@@ -40,12 +41,16 @@ def run_convergence(dataset: GraphDataset, model_name: str,
                     mega_config: Optional[MegaConfig] = None,
                     device_spec: DeviceSpec = GTX_1080,
                     seed: int = 0,
-                    shared_numerics: bool = True) -> ConvergenceResult:
+                    shared_numerics: bool = True,
+                    workers: int = 1,
+                    cache_dir=None) -> ConvergenceResult:
     """Fig. 11-14 style experiment for one dataset/model pair.
 
     With ``shared_numerics`` (valid at full coverage) the model trains
     once and both methods reuse the trajectory; otherwise each method
     trains its own copy of the model from the same initial seed.
+    ``workers``/``cache_dir`` feed the MEGA trainer's preprocessing
+    pipeline (see :mod:`repro.pipeline`).
     """
     mega_config = mega_config or MegaConfig()
     model = build_model(model_name, dataset, hidden_dim=hidden_dim,
@@ -60,7 +65,8 @@ def run_convergence(dataset: GraphDataset, model_name: str,
             build_model(model_name, dataset, hidden_dim=hidden_dim,
                         num_layers=num_layers, seed=seed),
             dataset, method="mega", batch_size=batch_size, lr=lr,
-            mega_config=mega_config, device_spec=device_spec, seed=seed)
+            mega_config=mega_config, device_spec=device_spec, seed=seed,
+            workers=workers, cache_dir=cache_dir)
         train_cost = mega_trainer._epoch_cost_seconds("train")
         val_cost = mega_trainer._epoch_cost_seconds("validation")
         mega_history = History(method="mega", model_name=model_name,
@@ -80,11 +86,13 @@ def run_convergence(dataset: GraphDataset, model_name: str,
         mega_trainer = Trainer(mega_model, dataset, method="mega",
                                batch_size=batch_size, lr=lr,
                                mega_config=mega_config,
-                               device_spec=device_spec, seed=seed)
+                               device_spec=device_spec, seed=seed,
+                               workers=workers, cache_dir=cache_dir)
         mega_history = mega_trainer.fit(num_epochs)
 
     speedup = speedup_to_target(mega_history, base_history)
     return ConvergenceResult(
         baseline=base_history, mega=mega_history, speedup=speedup,
         final_metric_baseline=base_history.records[-1].val_metric,
-        final_metric_mega=mega_history.records[-1].val_metric)
+        final_metric_mega=mega_history.records[-1].val_metric,
+        pipeline_stats=mega_trainer.pipeline_stats)

@@ -17,7 +17,6 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import MegaConfig
-from repro.core.path import PathRepresentation
 from repro.datasets.base import GraphDataset
 from repro.errors import ConfigError
 from repro.graph.batch import GraphBatch
@@ -58,7 +57,9 @@ class Trainer:
                  device_spec: DeviceSpec = GTX_1080,
                  clock_samples: int = 2,
                  grad_clip: float = 5.0,
-                 seed: int = 0):
+                 seed: int = 0,
+                 workers: int = 1,
+                 cache_dir=None):
         if method not in ("baseline", "mega"):
             raise ConfigError(f"unknown method {method!r}")
         self.model = model
@@ -72,13 +73,20 @@ class Trainer:
         self.scheduler = ReduceLROnPlateau(self.optimizer)
 
         self.preprocess_s = 0.0
+        self.pipeline_stats = None
         self._paths: dict = {}
         if method == "mega":
+            # Batch preprocessing through the pipeline: parallel across
+            # `workers` processes, persistent when `cache_dir` is set.
+            from repro.pipeline import precompute_paths
+
             start = time.perf_counter()
-            for split in dataset.splits.values():
-                for g in split:
-                    self._paths[id(g)] = PathRepresentation.from_graph(
-                        g, self.mega_config)
+            graphs = dataset.all_graphs()
+            pre = precompute_paths(graphs, self.mega_config,
+                                   workers=workers, cache_dir=cache_dir)
+            self._paths = {id(g): rep
+                           for g, rep in zip(graphs, pre.paths)}
+            self.pipeline_stats = pre.stats
             self.preprocess_s = time.perf_counter() - start
 
         self.cost_model = EpochCostModel(

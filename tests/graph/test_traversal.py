@@ -85,6 +85,20 @@ class TestComponents:
         g = from_edge_list([(0, 1)], num_nodes=3)
         assert not tv.is_connected(g)
 
+    def test_is_connected_empty_graph(self):
+        # Regression: the empty graph has zero components ([]), which is
+        # vacuously connected without any num_nodes special case.
+        from repro.graph.graph import Graph
+
+        g = Graph(0, [], [])
+        assert tv.connected_components(g) == []
+        assert tv.is_connected(g)
+
+    def test_is_connected_single_vertex(self):
+        from repro.graph.graph import Graph
+
+        assert tv.is_connected(Graph(1, [], []))
+
 
 class TestPeripheral:
     def test_path_graph_endpoint(self):

@@ -1,0 +1,180 @@
+"""Cache semantics: identity on hits, invalidation on change/corruption."""
+
+import numpy as np
+import pytest
+
+from repro.core import MegaConfig
+from repro.graph.generators import molecular_like
+from repro.graph.graph import Graph, from_edge_list
+from repro.pipeline import (
+    ScheduleCache,
+    compute_schedule,
+    graph_fingerprint,
+    precompute_paths,
+    schedule_cache_key,
+)
+
+
+@pytest.fixture
+def graphs():
+    return [molecular_like(np.random.default_rng(i), 20) for i in range(6)]
+
+
+def _assert_result_equal(a, b):
+    assert np.array_equal(a.path, b.path)
+    assert np.array_equal(a.virtual_mask, b.virtual_mask)
+    assert a.cover_positions == b.cover_positions
+    assert (a.window, a.covered_edges, a.total_edges, a.num_jumps) == \
+        (b.window, b.covered_edges, b.total_edges, b.num_jumps)
+
+
+def _assert_plan_equal(a, b):
+    for attr in ("src_pos", "dst_pos", "edge_ids",
+                 "unique_edge_rows", "mirror_index"):
+        assert np.array_equal(getattr(a, attr), getattr(b, attr)), attr
+    assert (a.num_positions, a.window) == (b.num_positions, b.window)
+
+
+class TestRoundTrip:
+    def test_hit_is_bit_identical_to_fresh_compute(self, tmp_path, graphs):
+        config = MegaConfig()
+        cache = ScheduleCache(tmp_path)
+        for g in graphs:
+            key = schedule_cache_key(g, config)
+            fresh = compute_schedule(g, config)
+            cache.put(key, *fresh)
+            cached = cache.get(key)
+            assert cached is not None
+            _assert_result_equal(fresh[0], cached[0])
+            _assert_plan_equal(fresh[1], cached[1])
+        assert cache.stats.hits == len(graphs)
+
+    def test_hit_survives_process_restart(self, tmp_path, graphs):
+        config = MegaConfig()
+        key = schedule_cache_key(graphs[0], config)
+        fresh = compute_schedule(graphs[0], config)
+        ScheduleCache(tmp_path).put(key, *fresh)
+        reopened = ScheduleCache(tmp_path)  # fresh index load from disk
+        cached = reopened.get(key)
+        assert cached is not None
+        _assert_result_equal(fresh[0], cached[0])
+
+    def test_pipeline_warm_run_identical(self, tmp_path, graphs):
+        cold = precompute_paths(graphs, cache_dir=tmp_path)
+        warm = precompute_paths(graphs, cache_dir=tmp_path)
+        assert cold.stats.cache.misses == len(graphs)
+        assert warm.stats.cache.hits == len(graphs)
+        assert warm.stats.computed == 0
+        for a, b in zip(cold.paths, warm.paths):
+            _assert_result_equal(a.schedule, b.schedule)
+            assert np.array_equal(a.band.pos_src, b.band.pos_src)
+        for a, b in zip(cold.plans, warm.plans):
+            _assert_plan_equal(a, b)
+
+
+class TestKeySensitivity:
+    def test_config_mutation_invalidates_key(self, graphs):
+        g = graphs[0]
+        base = schedule_cache_key(g, MegaConfig())
+        assert schedule_cache_key(g, MegaConfig(window=3)) != base
+        assert schedule_cache_key(g, MegaConfig(coverage=0.9)) != base
+        assert schedule_cache_key(g, MegaConfig(seed=1)) != base
+        assert schedule_cache_key(g, MegaConfig(start="zero")) != base
+        # Equal configs agree.
+        assert schedule_cache_key(g, MegaConfig()) == base
+
+    def test_graph_mutation_invalidates_key(self):
+        config = MegaConfig()
+        g1 = from_edge_list([(0, 1), (1, 2), (2, 3)], num_nodes=4)
+        g2 = from_edge_list([(0, 1), (1, 2), (2, 3), (3, 0)], num_nodes=4)
+        g3 = from_edge_list([(0, 1), (1, 2), (2, 3)], num_nodes=5)
+        keys = {schedule_cache_key(g, config) for g in (g1, g2, g3)}
+        assert len(keys) == 3
+
+    def test_features_do_not_change_key(self):
+        # Algorithm 1 never reads features; identical structure hits.
+        g1 = from_edge_list([(0, 1), (1, 2)], num_nodes=3,
+                            node_features=np.zeros(3, np.int64))
+        g2 = from_edge_list([(0, 1), (1, 2)], num_nodes=3,
+                            node_features=np.ones(3, np.int64))
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+
+    def test_empty_graph_has_key(self):
+        key = schedule_cache_key(Graph(0, [], []), MegaConfig())
+        assert isinstance(key, str) and len(key) == 64
+
+
+class TestCorruption:
+    def test_corrupted_npz_falls_back_to_recompute(self, tmp_path, graphs):
+        config = MegaConfig()
+        cold = precompute_paths(graphs, config, cache_dir=tmp_path)
+        # Truncate every payload: unreadable archives must never crash.
+        for payload in tmp_path.glob("*.npz"):
+            payload.write_bytes(payload.read_bytes()[:16])
+        again = precompute_paths(graphs, config, cache_dir=tmp_path)
+        assert again.stats.cache.hits == 0
+        assert again.stats.cache.invalidations == len(graphs)
+        assert again.stats.computed == len(graphs)
+        for a, b in zip(cold.paths, again.paths):
+            _assert_result_equal(a.schedule, b.schedule)
+
+    def test_checksum_mismatch_detected(self, tmp_path, graphs):
+        config = MegaConfig()
+        cache = ScheduleCache(tmp_path)
+        key = schedule_cache_key(graphs[0], config)
+        cache.put(key, *compute_schedule(graphs[0], config))
+        # Flip one byte mid-file: still a valid-looking zip prefix, but
+        # the checksum catches it.
+        payload = tmp_path / f"{key}.npz"
+        data = bytearray(payload.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        fresh = ScheduleCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.invalidations == 1
+        assert not payload.exists()  # corrupted entry deleted
+
+    def test_missing_payload_is_miss(self, tmp_path, graphs):
+        config = MegaConfig()
+        cache = ScheduleCache(tmp_path)
+        key = schedule_cache_key(graphs[0], config)
+        cache.put(key, *compute_schedule(graphs[0], config))
+        (tmp_path / f"{key}.npz").unlink()
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+
+class TestLRU:
+    def test_size_cap_evicts_least_recently_used(self, tmp_path, graphs):
+        config = MegaConfig()
+        entries = [(schedule_cache_key(g, config),
+                    compute_schedule(g, config)) for g in graphs[:4]]
+        one_size = None
+        cache = ScheduleCache(tmp_path)
+        cache.put(entries[0][0], *entries[0][1])
+        one_size = cache.total_bytes
+        cache.clear()
+        # Cap at ~2.5 entries: the third put must evict the oldest.
+        cache = ScheduleCache(tmp_path, max_bytes=int(one_size * 2.5))
+        for key, entry in entries[:3]:
+            cache.put(key, *entry)
+        assert cache.stats.evictions >= 1
+        assert cache.total_bytes <= int(one_size * 2.5)
+        # Most recent entry is still resident.
+        assert cache.get(entries[2][0]) is not None
+
+    def test_touch_on_get_protects_hot_entries(self, tmp_path, graphs):
+        config = MegaConfig()
+        entries = [(schedule_cache_key(g, config),
+                    compute_schedule(g, config)) for g in graphs[:3]]
+        probe = ScheduleCache(tmp_path)
+        probe.put(entries[0][0], *entries[0][1])
+        one_size = probe.total_bytes
+        probe.clear()
+        cache = ScheduleCache(tmp_path, max_bytes=int(one_size * 2.5))
+        cache.put(entries[0][0], *entries[0][1])
+        cache.put(entries[1][0], *entries[1][1])
+        cache.get(entries[0][0])  # entry 0 becomes most recent
+        cache.put(entries[2][0], *entries[2][1])  # evicts entry 1
+        assert cache.get(entries[0][0]) is not None
+        assert entries[1][0] not in cache

@@ -1,0 +1,52 @@
+"""Tier-1 docs gate: public modules must carry module docstrings.
+
+Wires ``tools/check_docstrings.py`` into the pytest run so the
+documentation invariant fails loudly instead of rotting silently.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "check_docstrings.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_docstrings", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_public_module_has_docstring():
+    tool = _load_tool()
+    missing = tool.find_missing_docstrings(REPO_ROOT / "src")
+    assert missing == [], (
+        "public modules missing a module docstring "
+        f"(see tools/check_docstrings.py): {missing}")
+
+
+def test_gate_detects_missing_docstring(tmp_path):
+    # The gate itself must not silently pass on undocumented modules.
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""A documented package."""\n')
+    (pkg / "documented.py").write_text('"""Has a real docstring."""\nX = 1\n')
+    (pkg / "bare.py").write_text("X = 1\n")
+    (pkg / "_private.py").write_text("X = 1\n")  # exempt
+    tool = _load_tool()
+    missing = tool.find_missing_docstrings(tmp_path)
+    assert len(missing) == 1 and missing[0].endswith("pkg/bare.py")
+
+
+def test_cli_entrypoint_exit_codes(tmp_path):
+    tool = _load_tool()
+    good = tmp_path / "ok"
+    good.mkdir()
+    (good / "mod.py").write_text('"""Documented module body."""\n')
+    assert tool.main([str(good)]) == 0
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    (bad / "mod.py").write_text("X = 1\n")
+    assert tool.main([str(bad)]) == 1

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Docs gate: every public module under ``src/repro`` must carry a
+module docstring.
+
+"Public" means the module name (and every package on its dotted path)
+does not start with an underscore; ``__init__.py`` counts as the
+package's own docstring.  The check parses files with ``ast`` — nothing
+is imported, so it is safe to run against broken code.
+
+Run standalone::
+
+    python tools/check_docstrings.py [src-root]
+
+or through the tier-1 suite (``tests/test_docstring_gate.py``), which
+imports :func:`find_missing_docstrings` directly so documentation can't
+rot without a test failing.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+#: Minimum length for a docstring to count as documentation rather than
+#: a placeholder.
+MIN_LENGTH = 10
+
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+
+def is_public_module(path: Path, root: Path) -> bool:
+    """True when no component of the module path is underscore-private."""
+    rel = path.relative_to(root)
+    parts = list(rel.parts[:-1]) + [rel.stem]
+    return all(not p.startswith("_") or p == "__init__" for p in parts)
+
+
+def module_docstring(path: Path) -> str:
+    """The module docstring of ``path`` ('' when absent or unparsable)."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as exc:  # a broken file is also a gate failure
+        raise SystemExit(f"{path}: syntax error during docs gate: {exc}")
+    return ast.get_docstring(tree) or ""
+
+
+def find_missing_docstrings(root: Path = DEFAULT_ROOT) -> List[str]:
+    """Repo-relative paths of public modules lacking a real docstring."""
+    missing = []
+    for path in sorted(root.rglob("*.py")):
+        if not is_public_module(path, root):
+            continue
+        doc = module_docstring(path)
+        if len(doc.strip()) < MIN_LENGTH:
+            missing.append(str(path.relative_to(root.parent)))
+    return missing
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else DEFAULT_ROOT
+    missing = find_missing_docstrings(root)
+    if missing:
+        print(f"{len(missing)} public module(s) missing a module docstring:")
+        for name in missing:
+            print(f"  {name}")
+        return 1
+    print("docs gate: all public modules documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
