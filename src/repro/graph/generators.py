@@ -64,11 +64,13 @@ def barabasi_albert(rng: np.random.Generator, num_nodes: int,
             edges.append((v, t))
         repeated.extend(targets)
         repeated.extend([v] * attach)
-        # Sample next targets proportionally to degree.
+        # Sample next targets proportionally to degree.  Fallback pool is
+        # sorted: set iteration order must not pick the targets (MEGA002).
         targets = list(rng.choice(repeated, size=attach, replace=False)) \
-            if len(set(repeated)) >= attach else list(set(repeated))[:attach]
-    return from_edge_list(set((min(a, b), max(a, b)) for a, b in edges),
-                          num_nodes=num_nodes)
+            if len(set(repeated)) >= attach \
+            else sorted(set(repeated))[:attach]
+    canon = {(min(a, b), max(a, b)) for a, b in edges}
+    return from_edge_list(sorted(canon), num_nodes=num_nodes)
 
 
 def ring_graph(num_nodes: int) -> Graph:

@@ -53,9 +53,11 @@ def edge_cut_partition(graph: Graph, k: int,
             for w in adj[v]:
                 if assignment[w] == -1:
                     queue.append(int(w))
-        # BFS exhausted its component before filling the part: steal nodes.
+        # BFS exhausted its component before filling the part: steal the
+        # lowest-id nodes (set.pop() order would be interpreter-defined).
         while size < target and unassigned:
-            v = unassigned.pop()
+            v = min(unassigned)
+            unassigned.discard(v)
             assignment[v] = part
             size += 1
     # Any stragglers go to the last part.

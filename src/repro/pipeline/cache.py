@@ -47,7 +47,9 @@ _INDEX_VERSION = 1
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/schedules``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    # Deliberate impurity: the env var picks where the cache *lives*;
+    # it never reaches a cache key.
+    env = os.environ.get("REPRO_CACHE_DIR")  # megalint: disable=MEGA004
     if env:
         return Path(env).expanduser()
     return Path("~/.cache/repro/schedules").expanduser()

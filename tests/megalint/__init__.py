@@ -1,0 +1,1 @@
+"""Tests for the megalint invariant-lint engine (tools/megalint)."""

@@ -1,0 +1,33 @@
+"""Shared helpers: build a fixture tree on disk and lint it."""
+
+import textwrap
+
+import pytest
+
+from tools.megalint import LintConfig, lint_paths
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint(files, select=..., config=...) -> LintResult``.
+
+    ``files`` maps paths relative to a synthetic ``src/`` root to
+    source text (dedented).  Module names therefore mirror the real
+    repo: ``"repro/core/x.py"`` lints as module ``repro.core.x``, so
+    the default config's scoping applies exactly as in production.
+    """
+
+    def _lint(files, select=None, disable=None, config=None):
+        root = tmp_path / "src"
+        for rel, text in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return lint_paths([root], config=config or LintConfig(),
+                          select=select, disable=disable)
+
+    return _lint
+
+
+def rule_ids_of(result):
+    return sorted({v.rule_id for v in result.violations})

@@ -1,0 +1,87 @@
+"""Baseline round-trip: record today's debt, stay green on it, and
+still fail on anything new.
+"""
+
+import pytest
+
+from tools.megalint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.megalint.cli import main
+
+VIOLATING = {
+    "repro/pipeline/dbg.py": '''\
+        """Docstring is fine."""
+        def run(stats):
+            print("hits:", stats.hits)
+            print("miss:", stats.misses)
+    ''',
+}
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_apply_filters_everything(self, lint, tmp_path):
+        result = lint(VIOLATING, select={"MEGA009"})
+        assert len(result.violations) == 2
+        baseline_file = tmp_path / "baseline.json"
+        assert write_baseline(baseline_file, result) == 2
+
+        fresh = lint(VIOLATING, select={"MEGA009"})
+        filtered, stale = apply_baseline(fresh,
+                                         load_baseline(baseline_file))
+        assert filtered.ok
+        assert filtered.baselined == 2
+        assert stale == 0
+
+    def test_new_violation_still_fails(self, lint, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, lint(VIOLATING, select={"MEGA009"}))
+
+        grown = dict(VIOLATING)
+        grown["repro/pipeline/dbg2.py"] = ('"""Docstring is fine."""\n'
+                                           'print("new")\n')
+        result = lint(grown, select={"MEGA009"})
+        filtered, _ = apply_baseline(result, load_baseline(baseline_file))
+        assert len(filtered.violations) == 1
+        assert filtered.violations[0].path.endswith("dbg2.py")
+
+    def test_fixed_violation_reported_stale(self, lint, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, lint(VIOLATING, select={"MEGA009"}))
+        clean = {"repro/pipeline/dbg.py": '"""Docstring is fine."""\n'}
+        result = lint(clean, select={"MEGA009"})
+        filtered, stale = apply_baseline(result,
+                                         load_baseline(baseline_file))
+        assert filtered.ok
+        assert stale == 2  # both entries no longer match anything
+
+    def test_unreadable_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+        bad.write_text('{"version": 99, "entries": {}}')
+        with pytest.raises(BaselineError, match="version"):
+            load_baseline(bad)
+
+
+class TestBaselineCli:
+    def _write_tree(self, tmp_path):
+        root = tmp_path / "src" / "repro" / "pipeline"
+        root.mkdir(parents=True)
+        (root / "dbg.py").write_text('"""Docstring is fine."""\n'
+                                     'print("hi")\n')
+        return tmp_path / "src"
+
+    def test_write_then_use_baseline(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = self._write_tree(tmp_path)
+        baseline = tmp_path / "megalint-baseline.json"
+        assert main([str(src), "--write-baseline", str(baseline)]) == 0
+        assert main([str(src)]) == 1                       # without it
+        assert main([str(src), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out

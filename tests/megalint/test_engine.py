@@ -1,0 +1,162 @@
+"""Engine mechanics: module naming, parse errors, selection, config,
+reporters, and the ``python -m tools.megalint`` entry point.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.megalint import (
+    ConfigError,
+    LintConfig,
+    lint_paths,
+    module_name_for,
+    rule_ids,
+)
+from tools.megalint.cli import main
+from tools.megalint.config import config_from_table, load_config
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestModuleNaming:
+    def test_plain_module(self):
+        assert module_name_for(Path("src/repro/core/schedule.py"),
+                               Path("src")) == "repro.core.schedule"
+
+    def test_package_init_is_the_package(self):
+        assert module_name_for(Path("src/repro/graph/__init__.py"),
+                               Path("src")) == "repro.graph"
+
+    def test_top_level_file(self):
+        assert module_name_for(Path("src/setup.py"),
+                               Path("src")) == "setup"
+
+
+class TestEngineBasics:
+    def test_at_least_eight_rules_registered(self):
+        import tools.megalint.rules  # noqa: F401
+        assert len(rule_ids()) >= 8
+
+    def test_syntax_error_reported_not_raised(self, lint):
+        result = lint({"repro/core/broken.py": "def oops(:\n"},
+                      select={"MEGA002"})
+        assert len(result.violations) == 1
+        assert result.violations[0].rule_id == "MEGA000"
+        assert "syntax error" in result.violations[0].message
+
+    def test_single_file_target(self, tmp_path):
+        path = tmp_path / "single.py"
+        path.write_text("X = 1\n")
+        result = lint_paths([path], select={"MEGA007"})
+        assert len(result.violations) == 1  # missing docstring
+
+    def test_disable_skips_rule(self, lint):
+        files = {"repro/pipeline/dbg.py": '"""Docstring is fine."""\n'
+                                          'print("hi")\n'}
+        assert not lint(files, disable={"MEGA009"}).violations
+        assert lint(files, select={"MEGA009"}).violations
+
+    def test_violations_sorted_and_stable(self, lint):
+        files = {
+            "repro/core/b.py": "X = 1\n",
+            "repro/core/a.py": "Y = 2\n",
+        }
+        result = lint(files, select={"MEGA007"})
+        paths = [v.path for v in result.violations]
+        assert paths == sorted(paths)
+
+
+class TestConfig:
+    def test_defaults_when_no_file(self, tmp_path):
+        config = load_config(tmp_path / "missing.toml")
+        assert config.src_root == "src"
+        assert "repro.tensor.functional" in config.kernel_modules
+
+    def test_repo_pyproject_parses(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert config.kernel_modules == ["repro.tensor.functional",
+                                         "repro.models.layers"]
+        assert config.purity_modules == ["repro.pipeline.hashing",
+                                         "repro.pipeline.cache"]
+
+    def test_kebab_keys_map_to_fields(self):
+        config = config_from_table({"docstring-min-length": 25,
+                                    "print-allowed": ["repro.cli",
+                                                      "repro.tools"]})
+        assert config.docstring_min_length == 25
+        assert config.print_allowed == ["repro.cli", "repro.tools"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            config_from_table({"kernel-modlues": []})  # typo must not pass
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ConfigError, match="list of strings"):
+            config_from_table({"kernel-modules": "repro.tensor"})
+
+    def test_config_disable_list(self, lint):
+        config = config_from_table({"disable": ["MEGA009"]})
+        files = {"repro/pipeline/dbg.py": '"""Docstring is fine."""\n'
+                                          'print("hi")\n'}
+        assert lint(files, config=config).ok
+
+    def test_scoping_is_config_driven(self, lint):
+        # Declaring a new module a kernel makes MEGA003 apply to it.
+        config = config_from_table(
+            {"kernel-modules": ["repro.memsim.kern2"]})
+        files = {"repro/memsim/kern2.py": '''\
+            """Docstring is fine."""
+            def slow(xs):
+                for i in range(len(xs)):
+                    xs[i] += 1
+        '''}
+        assert lint(files, select={"MEGA003"}).ok  # default scope: clean
+        result = lint(files, select={"MEGA003"}, config=config)
+        assert len(result.violations) == 1
+
+
+class TestCli:
+    def _write_violation(self, tmp_path):
+        root = tmp_path / "src" / "repro" / "pipeline"
+        root.mkdir(parents=True)
+        (root / "dbg.py").write_text('"""Docstring is fine."""\n'
+                                     'print("hi")\n')
+        return tmp_path / "src"
+
+    def test_exit_codes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = self._write_violation(tmp_path)
+        assert main([str(src)]) == 1
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        (clean / "ok.py").write_text('"""Documented module body."""\n')
+        assert main([str(clean)]) == 0
+        assert main([str(tmp_path / "nowhere")]) == 2
+
+    def test_json_format(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = self._write_violation(tmp_path)
+        assert main([str(src), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["violations"] == 1
+        assert payload["violations"][0]["rule"] == "MEGA009"
+        assert payload["violations"][0]["line"] == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "MEGA001" in out and "MEGA007" in out
+
+    def test_python_dash_m_entry_point(self, tmp_path):
+        src = self._write_violation(tmp_path)
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.megalint", str(src),
+             "--format", "json", "--no-config"],
+            cwd=REPO_ROOT, capture_output=True, text=True)
+        assert proc.returncode == 1, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["summary"]["violations"] == 1

@@ -1,61 +1,53 @@
 #!/usr/bin/env python
-"""Docs gate: every public module under ``src/repro`` must carry a
-module docstring.
+"""Back-compat shim: the docs gate now lives in megalint (rule MEGA007).
 
-"Public" means the module name (and every package on its dotted path)
-does not start with an underscore; ``__init__.py`` counts as the
-package's own docstring.  The check parses files with ``ast`` — nothing
-is imported, so it is safe to run against broken code.
+Historically this file implemented the "every public module under
+``src/repro`` carries a module docstring" check by itself; that logic
+moved into :mod:`tools.megalint.rules.docstrings` when the single gate
+grew into a rule engine.  The shim keeps the old entry points —
+``find_missing_docstrings`` and ``python tools/check_docstrings.py``
+— delegating to the shared implementation, so existing callers and
+muscle memory keep working.
 
-Run standalone::
+Prefer the engine for anything new::
 
-    python tools/check_docstrings.py [src-root]
-
-or through the tier-1 suite (``tests/test_docstring_gate.py``), which
-imports :func:`find_missing_docstrings` directly so documentation can't
-rot without a test failing.
+    python -m tools.megalint src --select MEGA007
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 from typing import List
 
-#: Minimum length for a docstring to count as documentation rather than
-#: a placeholder.
-MIN_LENGTH = 10
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:  # direct `python tools/check_docstrings.py`
+    sys.path.insert(0, str(_REPO_ROOT))
 
-DEFAULT_ROOT = Path(__file__).resolve().parent.parent / "src"
+from tools.megalint.rules.docstrings import (  # noqa: E402
+    MIN_LENGTH,
+    is_public_module_parts,
+    missing_module_docstrings,
+)
+
+DEFAULT_ROOT = _REPO_ROOT / "src"
+
+__all__ = ["MIN_LENGTH", "DEFAULT_ROOT", "is_public_module",
+           "find_missing_docstrings", "main"]
 
 
 def is_public_module(path: Path, root: Path) -> bool:
     """True when no component of the module path is underscore-private."""
     rel = path.relative_to(root)
-    parts = list(rel.parts[:-1]) + [rel.stem]
-    return all(not p.startswith("_") or p == "__init__" for p in parts)
-
-
-def module_docstring(path: Path) -> str:
-    """The module docstring of ``path`` ('' when absent or unparsable)."""
-    try:
-        tree = ast.parse(path.read_text(encoding="utf-8"))
-    except SyntaxError as exc:  # a broken file is also a gate failure
-        raise SystemExit(f"{path}: syntax error during docs gate: {exc}")
-    return ast.get_docstring(tree) or ""
+    parts = list(rel.parts[:-1])
+    if rel.stem != "__init__":
+        parts.append(rel.stem)
+    return is_public_module_parts(parts)
 
 
 def find_missing_docstrings(root: Path = DEFAULT_ROOT) -> List[str]:
     """Repo-relative paths of public modules lacking a real docstring."""
-    missing = []
-    for path in sorted(root.rglob("*.py")):
-        if not is_public_module(path, root):
-            continue
-        doc = module_docstring(path)
-        if len(doc.strip()) < MIN_LENGTH:
-            missing.append(str(path.relative_to(root.parent)))
-    return missing
+    return missing_module_docstrings(Path(root), min_length=MIN_LENGTH)
 
 
 def main(argv: List[str] | None = None) -> int:

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m tools.megalint``."""
+
+import sys
+
+from tools.megalint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Baseline files: land a new rule before its violations are fixed.
+
+A baseline records the *current* violations as ``path::rule::message``
+keys with occurrence counts.  On later runs, up to that many matching
+violations are filtered out — so pre-existing debt is tolerated while
+any **new** violation (or an old one moving to a new message) still
+fails the build.  Line numbers are deliberately excluded from the key
+so unrelated edits that shift code around don't invalidate a baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from tools.megalint.engine import LintResult, Violation
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(Exception):
+    """Unreadable or version-incompatible baseline file."""
+
+
+def violation_key(violation: Violation) -> str:
+    return f"{violation.path}::{violation.rule_id}::{violation.message}"
+
+
+def write_baseline(path: Union[str, Path], result: LintResult) -> int:
+    """Serialise ``result``'s violations; returns the entry count."""
+    counts = Counter(violation_key(v) for v in result.violations)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return sum(counts.values())
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported version "
+            f"{data.get('version')!r} (expected {BASELINE_VERSION})")
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise BaselineError(f"baseline {path}: 'entries' must be a table")
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def apply_baseline(result: LintResult,
+                   baseline: Dict[str, int]) -> Tuple[LintResult, int]:
+    """Filter baselined violations out of ``result`` (in place).
+
+    Returns ``(result, stale)`` where ``stale`` counts baselined
+    occurrences that no longer match anything — a hint the baseline
+    can shrink.
+    """
+    budget = dict(baseline)
+    kept: List[Violation] = []
+    for violation in result.violations:
+        key = violation_key(violation)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            result.baselined += 1
+        else:
+            kept.append(violation)
+    result.violations = kept
+    stale = sum(v for v in budget.values() if v > 0)
+    return result, stale

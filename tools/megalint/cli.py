@@ -1,0 +1,143 @@
+"""Command-line front end: ``python -m tools.megalint [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.megalint import rules as _rules  # noqa: F401  (registers rules)
+from tools.megalint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.megalint.config import ConfigError, LintConfig, load_config
+from tools.megalint.engine import Engine, LintResult
+from tools.megalint.registry import all_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.megalint",
+        description="Repo-specific invariant linter for the MEGA "
+                    "reproduction (determinism, layering, hot-path and "
+                    "cache contracts).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the configured src root)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--config", default="pyproject.toml",
+                        help="pyproject.toml with a [tool.megalint] block")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore pyproject.toml; use built-in defaults")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule IDs to run exclusively")
+    parser.add_argument("--disable", default=None, metavar="IDS",
+                        help="comma-separated rule IDs to skip")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="filter out violations recorded in FILE")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="record current violations to FILE and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [p.strip() for p in raw.split(",") if p.strip()]
+
+
+def _report_text(result: LintResult, stale: int, out) -> None:
+    for violation in result.violations:
+        print(violation.text(), file=out)
+    bits = [f"{len(result.violations)} violation(s)",
+            f"{result.files_scanned} file(s)",
+            f"{len(result.rule_ids)} rule(s)"]
+    if result.suppressed:
+        bits.append(f"{result.suppressed} suppressed inline")
+    if result.baselined:
+        bits.append(f"{result.baselined} baselined")
+    if stale:
+        bits.append(f"{stale} stale baseline entr(y/ies)")
+    print("megalint: " + ", ".join(bits), file=out)
+
+
+def _report_json(result: LintResult, stale: int, out) -> None:
+    payload = {
+        "version": 1,
+        "violations": [v.to_json() for v in result.violations],
+        "summary": {
+            "violations": len(result.violations),
+            "files_scanned": result.files_scanned,
+            "rules": result.rule_ids,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "stale_baseline_entries": stale,
+        },
+    }
+    print(json.dumps(payload, indent=2), file=out)
+
+
+def _list_rules(out) -> None:
+    for cls in all_rules():
+        print(f"{cls.id}  {cls.name}", file=out)
+        print(f"    {cls.rationale}", file=out)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = sys.stdout if out is None else out
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+
+    try:
+        config = (LintConfig() if args.no_config
+                  else load_config(args.config))
+    except ConfigError as exc:
+        print(f"megalint: {exc}", file=sys.stderr)
+        return 2
+
+    targets = [Path(p) for p in args.paths] or [Path(config.src_root)]
+    for target in targets:
+        if not target.exists():
+            print(f"megalint: no such path: {target}", file=sys.stderr)
+            return 2
+
+    engine = Engine(config=config,
+                    select=_split_ids(args.select),
+                    disable=_split_ids(args.disable))
+    result = engine.run(targets)
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, result)
+        print(f"megalint: wrote baseline with {count} entr(y/ies) to "
+              f"{args.write_baseline}", file=out)
+        return 0
+
+    stale = 0
+    baseline_path = args.baseline or config.baseline
+    if baseline_path:
+        try:
+            entries = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"megalint: {exc}", file=sys.stderr)
+            return 2
+        result, stale = apply_baseline(result, entries)
+
+    if args.format == "json":
+        _report_json(result, stale, out)
+    else:
+        _report_text(result, stale, out)
+    return 0 if result.ok else 1

@@ -1,0 +1,116 @@
+"""Lint configuration: defaults plus the ``[tool.megalint]`` pyproject block.
+
+All scoping decisions (which modules count as kernels, which as cache
+code, which layers may not import which) live here so the rules
+themselves stay mechanical.  TOML keys use kebab-case and map 1:1 onto
+:class:`LintConfig` fields (``kernel-modules`` -> ``kernel_modules``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - py3.9/3.10 fallback
+    tomllib = None
+
+
+@dataclass
+class LintConfig:
+    """Everything configurable about a megalint run."""
+
+    #: Directory scanned when the CLI is given no path arguments.
+    src_root: str = "src"
+
+    #: MEGA001: module prefixes forming the low layers...
+    low_layers: List[str] = field(default_factory=lambda: [
+        "repro.core", "repro.graph", "repro.tensor"])
+    #: ...which must never import these high layers.
+    high_layers: List[str] = field(default_factory=lambda: [
+        "repro.models", "repro.train", "repro.pipeline",
+        "repro.distributed"])
+
+    #: MEGA002: modules whose ordered outputs feed schedule/cache keys,
+    #: so set-iteration-order must never leak into them.
+    determinism_modules: List[str] = field(default_factory=lambda: [
+        "repro.core", "repro.graph", "repro.pipeline"])
+
+    #: MEGA003: modules declared as vectorised kernels.
+    kernel_modules: List[str] = field(default_factory=lambda: [
+        "repro.tensor.functional", "repro.models.layers"])
+
+    #: MEGA004: cache-key/cache-store modules that must stay pure.
+    purity_modules: List[str] = field(default_factory=lambda: [
+        "repro.pipeline.hashing", "repro.pipeline.cache"])
+
+    #: MEGA009: modules allowed to call ``print`` (user-facing CLIs).
+    print_allowed: List[str] = field(default_factory=lambda: ["repro.cli"])
+
+    #: MEGA007: a module docstring shorter than this is a placeholder.
+    docstring_min_length: int = 10
+
+    #: Rule IDs disabled globally (config-level, not inline).
+    disable: List[str] = field(default_factory=list)
+
+    #: Default baseline file (CLI ``--baseline`` overrides).
+    baseline: Optional[str] = None
+
+    @classmethod
+    def field_names(cls) -> List[str]:
+        return [f.name for f in dataclasses.fields(cls)]
+
+
+class ConfigError(Exception):
+    """Bad pyproject block or unreadable config file."""
+
+
+def _coerce(name: str, value, template) -> object:
+    """Validate a TOML value against the default's type."""
+    if isinstance(template, bool) or template is None:
+        return value
+    if isinstance(template, int) and not isinstance(value, int):
+        raise ConfigError(f"[tool.megalint] {name} must be an integer")
+    if isinstance(template, list):
+        if (not isinstance(value, list)
+                or not all(isinstance(v, str) for v in value)):
+            raise ConfigError(f"[tool.megalint] {name} must be a "
+                              "list of strings")
+    if isinstance(template, str) and not isinstance(value, str):
+        raise ConfigError(f"[tool.megalint] {name} must be a string")
+    return value
+
+
+def config_from_table(table: dict) -> LintConfig:
+    """Build a config from an already-parsed ``[tool.megalint]`` table."""
+    config = LintConfig()
+    known = set(LintConfig.field_names())
+    for raw_key, value in table.items():
+        key = raw_key.replace("-", "_")
+        if key not in known:
+            raise ConfigError(f"[tool.megalint] unknown key {raw_key!r} "
+                              f"(known: {sorted(known)})")
+        template = getattr(config, key)
+        setattr(config, key, _coerce(raw_key, value, template))
+    return config
+
+
+def load_config(pyproject: Union[str, Path, None]) -> LintConfig:
+    """Config from ``pyproject.toml`` (defaults when absent/sectionless)."""
+    if pyproject is None:
+        return LintConfig()
+    path = Path(pyproject)
+    if not path.is_file():
+        return LintConfig()
+    if tomllib is None:  # pragma: no cover
+        return LintConfig()
+    try:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigError(f"{path}: invalid TOML: {exc}") from exc
+    table = data.get("tool", {}).get("megalint", {})
+    return config_from_table(table)

@@ -1,0 +1,265 @@
+"""The megalint engine: one AST walk per file, rule dispatch, suppression.
+
+The engine never imports the code it checks — everything is ``ast`` on
+source text, so it is safe to run against broken or import-cycling
+code (and it can therefore *enforce* the import rules).
+
+Per file the engine:
+
+1. parses the source (a parse failure is reported as ``MEGA000``),
+2. builds a child->parent map during a single ``ast.walk``,
+3. dispatches each node to every enabled rule with a matching
+   ``visit_<NodeType>`` method,
+4. filters the collected violations through inline suppression
+   comments (``# megalint: disable=MEGA003`` on the offending line).
+
+Baseline subtraction happens after all files are scanned (see
+:mod:`tools.megalint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.megalint.config import LintConfig
+from tools.megalint.registry import PARSE_ERROR_ID, Rule, all_rules
+
+#: Inline suppression marker.  ``# megalint: disable=MEGA001,MEGA002``
+#: silences those rules on that line; ``disable=all`` silences every
+#: rule on the line.
+_SUPPRESS_RE = re.compile(
+    r"#\s*megalint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:#|$)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: rule, location, and human-readable message."""
+
+    rule_id: str
+    path: str          # posix path as given on the command line
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def text(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} {self.message}")
+
+    def to_json(self) -> dict:
+        return {"rule": self.rule_id, "path": self.path,
+                "line": self.line, "col": self.col,
+                "message": self.message}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    rule_ids: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _line_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of rule IDs suppressed there."""
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            ids = {p.strip() for p in match.group(1).split(",") if p.strip()}
+            out[i] = ids
+    return out
+
+
+class ModuleContext:
+    """Per-file state handed to rules during the walk."""
+
+    def __init__(self, path: Path, display_path: str, module: str,
+                 source: str, tree: ast.Module, config: LintConfig):
+        self.path = path
+        self.display_path = display_path
+        self.module = module          # dotted name, e.g. "repro.core.schedule"
+        self.is_package = path.name == "__init__.py"
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.violations: List[Violation] = []
+        self.suppressed = 0
+        self._suppress = _line_suppressions(self.lines)
+        self._parents: Dict[int, ast.AST] = {}
+
+    # -- structure helpers -------------------------------------------------
+    @property
+    def package(self) -> str:
+        """The package this module lives in (itself for ``__init__``)."""
+        if self.is_package:
+            return self.module
+        return self.module.rpartition(".")[0]
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        seen = 0
+        current = self.parent(node)
+        while current is not None and seen < 10_000:
+            yield current
+            current = self.parent(current)
+            seen += 1
+
+    def in_modules(self, prefixes: Sequence[str]) -> bool:
+        """True when this module equals or lives under any prefix."""
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in prefixes)
+
+    # -- reporting ---------------------------------------------------------
+    def report(self, rule: Rule, node, message: str) -> None:
+        """Record one violation unless an inline comment suppresses it."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        ids = self._suppress.get(line, ())
+        if rule.id in ids or "all" in ids:
+            self.suppressed += 1
+            return
+        self.violations.append(Violation(
+            rule_id=rule.id, path=self.display_path,
+            line=line, col=col, message=message))
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the scan root.
+
+    The scan root itself is treated as a sys.path entry: ``src/repro/x.py``
+    scanned from root ``src`` is module ``repro.x``.
+    """
+    rel = path.relative_to(root)
+    parts = list(rel.parts[:-1])
+    stem = rel.stem
+    if stem != "__init__":
+        parts.append(stem)
+    return ".".join(parts) if parts else stem
+
+
+def iter_python_files(target: Path) -> List[Path]:
+    """All ``.py`` files under ``target`` in sorted (deterministic) order."""
+    if target.is_file():
+        return [target]
+    return sorted(p for p in target.rglob("*.py") if p.is_file())
+
+
+def _resolve_selection(config: LintConfig,
+                       select: Optional[Iterable[str]],
+                       disable: Optional[Iterable[str]]) -> List[Rule]:
+    """Instantiate the rule set for this run."""
+    chosen = []
+    config_disabled = set(config.disable) | set(disable or ())
+    selected = set(select) if select else None
+    for cls in all_rules():
+        if selected is not None and cls.id not in selected:
+            continue
+        if selected is None and cls.id in config_disabled:
+            continue
+        chosen.append(cls())
+    return chosen
+
+
+class Engine:
+    """Walks files once and dispatches nodes to visitor-based rules."""
+
+    def __init__(self, config: Optional[LintConfig] = None,
+                 select: Optional[Iterable[str]] = None,
+                 disable: Optional[Iterable[str]] = None):
+        self.config = config or LintConfig()
+        self.rules = _resolve_selection(self.config, select, disable)
+        # Dispatch table: node type name -> [(rule, bound method)].
+        self._handlers: Dict[str, List[Tuple[Rule, object]]] = {}
+        for rule in self.rules:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    node_type = attr[len("visit_"):]
+                    self._handlers.setdefault(node_type, []).append(
+                        (rule, getattr(rule, attr)))
+
+    # ------------------------------------------------------------------
+    def run(self, targets: Sequence[Path]) -> LintResult:
+        """Lint every python file under each target path."""
+        result = LintResult(rule_ids=[r.id for r in self.rules])
+        for target in targets:
+            target = Path(target)
+            root = target if target.is_dir() else target.parent
+            for path in iter_python_files(target):
+                self._lint_file(path, root, target, result)
+        result.violations.sort(key=Violation.sort_key)
+        return result
+
+    # ------------------------------------------------------------------
+    def _display_path(self, path: Path, target: Path) -> str:
+        try:
+            return path.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _lint_file(self, path: Path, root: Path, target: Path,
+                   result: LintResult) -> None:
+        result.files_scanned += 1
+        display = self._display_path(path, target)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.violations.append(Violation(
+                PARSE_ERROR_ID, display, 1, 0, f"unreadable file: {exc}"))
+            return
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            result.violations.append(Violation(
+                PARSE_ERROR_ID, display, exc.lineno or 1,
+                (exc.offset or 1) - 1, f"syntax error: {exc.msg}"))
+            return
+
+        module = module_name_for(path, root)
+        ctx = ModuleContext(path, display, module, source, tree, self.config)
+
+        active = [r for r in self.rules if r.enabled_for(ctx)]
+        active_ids = {id(r) for r in active}
+        for rule in active:
+            rule.begin_module(ctx)
+        # The single walk: build the parent map and dispatch in one pass.
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                ctx._parents[id(child)] = node
+            for rule, method in self._handlers.get(type(node).__name__, ()):
+                if id(rule) in active_ids:
+                    method(node, ctx)
+        for rule in active:
+            rule.end_module(ctx)
+
+        result.violations.extend(ctx.violations)
+        result.suppressed += ctx.suppressed
+
+
+def lint_paths(targets: Sequence[Path],
+               config: Optional[LintConfig] = None,
+               select: Optional[Iterable[str]] = None,
+               disable: Optional[Iterable[str]] = None) -> LintResult:
+    """Convenience wrapper: build an engine and run it over ``targets``."""
+    import tools.megalint.rules  # noqa: F401  (registers the rule set)
+    return Engine(config=config, select=select, disable=disable).run(
+        [Path(t) for t in targets])

@@ -1,0 +1,79 @@
+"""Rule base class and the global rule registry.
+
+Every rule has a stable ID (``MEGA0xx``) that suppression comments,
+baseline files, and ``--select``/``--disable`` refer to.  IDs are never
+reused: retiring a rule retires its number.
+
+A rule participates in the engine's single AST walk by defining
+``visit_<NodeType>`` methods (e.g. ``visit_Call``); the engine builds a
+dispatch table once and feeds every node of a matching type to every
+enabled rule.  Rules that need a whole-module view implement
+``begin_module`` / ``end_module`` instead (or additionally).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+#: Reserved ID used by the engine itself for unparsable files.  It is
+#: not a registered rule — it can't be disabled, because a file that
+#: does not parse can't be checked at all.
+PARSE_ERROR_ID = "MEGA000"
+
+
+class Rule:
+    """Base class for megalint rules.
+
+    Class attributes
+    ----------------
+    id:
+        Stable ``MEGA0xx`` identifier.
+    name:
+        Short kebab-case name used in reports.
+    rationale:
+        One-line justification shown by ``--list-rules`` and in docs.
+    """
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def enabled_for(self, ctx) -> bool:
+        """Whether this rule applies to the module in ``ctx`` at all.
+
+        Scoped rules (hot-loop, cache-purity, ...) override this to
+        consult the config's module lists; the engine skips dispatch for
+        modules where this returns False.
+        """
+        return True
+
+    def begin_module(self, ctx) -> None:
+        """Hook called before the walk of one module."""
+
+    def end_module(self, ctx) -> None:
+        """Hook called after the walk of one module."""
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or not cls.id.startswith("MEGA"):
+        raise ValueError(f"rule {cls.__name__} has no valid id: {cls.id!r}")
+    if cls.id == PARSE_ERROR_ID:
+        raise ValueError(f"{PARSE_ERROR_ID} is reserved for parse errors")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id} "
+                         f"({_REGISTRY[cls.id].__name__} vs {cls.__name__})")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, sorted by ID."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    return sorted(_REGISTRY)

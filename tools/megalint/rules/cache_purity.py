@@ -1,0 +1,93 @@
+"""MEGA004 — cache-key code must be a pure function of its inputs.
+
+``repro.pipeline.hashing`` derives content-addressed keys and
+``repro.pipeline.cache`` stores payloads under them; the whole design
+(and the Cached Operator Reordering lesson it follows) is only sound if
+that computation reads *nothing* but its arguments.  Wall-clock time,
+environment variables, and filesystem enumeration order are the three
+classic impurities that turn "same inputs" into "different key" — or
+worse, the same key for different payloads.
+
+Flagged inside the purity-scoped modules:
+
+* ``time.time()`` / ``perf_counter()`` / ``datetime.now()`` and
+  friends (any wall-clock read);
+* ``os.environ`` / ``os.getenv`` reads;
+* ``os.listdir`` / ``os.scandir`` / ``Path.iterdir`` / ``glob`` /
+  ``rglob`` unless the call is wrapped in ``sorted(...)`` — directory
+  order is filesystem-dependent.
+
+A deliberate impurity (e.g. an env var choosing the cache *location*,
+which never enters a key) gets an inline
+``# megalint: disable=MEGA004`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.megalint.astutil import dotted_name
+from tools.megalint.registry import Rule, register
+
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.clock_gettime",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+_ENV_CALLS = frozenset({"os.getenv", "os.environb"})
+
+_LISTING_CALLS = frozenset({"os.listdir", "os.scandir"})
+
+#: Method names distinctive enough to flag on any receiver.
+_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+@register
+class CachePurityRule(Rule):
+    id = "MEGA004"
+    name = "cache-purity"
+    rationale = ("cache key/store code may not read wall-clock, env vars, "
+                 "or unsorted directory listings")
+
+    def enabled_for(self, ctx) -> bool:
+        return ctx.in_modules(ctx.config.purity_modules)
+
+    def _sorted_wrapped(self, node: ast.AST, ctx) -> bool:
+        """Is ``node`` (transitively) an argument of a sorted(...) call?"""
+        return any(isinstance(a, ast.Call)
+                   and isinstance(a.func, ast.Name)
+                   and a.func.id == "sorted"
+                   for a in ctx.ancestors(node))
+
+    def visit_Attribute(self, node: ast.Attribute, ctx) -> None:
+        if dotted_name(node) == "os.environ":
+            ctx.report(self, node,
+                       "reads os.environ in cache-purity scope — pass "
+                       "configuration in explicitly so keys stay a pure "
+                       "function of their inputs")
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        flat = dotted_name(node.func)
+        if flat in _CLOCK_CALLS:
+            ctx.report(self, node,
+                       f"wall-clock read '{flat}()' in cache-purity scope "
+                       "— timestamps must never influence keys or "
+                       "payloads")
+            return
+        if flat in _ENV_CALLS:
+            ctx.report(self, node,
+                       f"environment read '{flat}()' in cache-purity "
+                       "scope — pass configuration in explicitly")
+            return
+        is_listing = flat in _LISTING_CALLS or (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LISTING_METHODS)
+        if is_listing and not self._sorted_wrapped(node, ctx):
+            what = flat or node.func.attr  # type: ignore[union-attr]
+            ctx.report(self, node,
+                       f"directory enumeration '{what}(...)' without "
+                       "sorted(...) — filesystem order is "
+                       "platform-dependent")

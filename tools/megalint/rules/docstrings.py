@@ -1,0 +1,73 @@
+"""MEGA007 — every public module carries a real module docstring.
+
+Absorbed from ``tools/check_docstrings.py`` (the repo's original
+single-purpose gate).  "Public" means no component of the dotted module
+path starts with an underscore; ``__init__.py`` counts as the package's
+own docstring.  A docstring shorter than the configured minimum is a
+placeholder, not documentation.
+
+:func:`missing_module_docstrings` is the engine-independent helper the
+back-compat shim (and tests) reuse directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Sequence
+
+from tools.megalint.registry import Rule, register
+
+#: Default minimum docstring length (mirrors the old tool's constant).
+MIN_LENGTH = 10
+
+
+def is_public_module_parts(parts: Sequence[str]) -> bool:
+    """True when no dotted-path component is underscore-private."""
+    return all(not p.startswith("_") for p in parts)
+
+
+def missing_module_docstrings(root: Path,
+                              min_length: int = MIN_LENGTH) -> List[str]:
+    """Repo-relative paths of public modules lacking a real docstring.
+
+    Standalone (no engine) so the ``check_docstrings`` shim keeps its
+    historical signature and output format.
+    """
+    root = Path(root)
+    missing = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        parts = list(rel.parts[:-1])
+        if rel.stem != "__init__":
+            parts.append(rel.stem)
+        if not is_public_module_parts(parts):
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:  # a broken file is also a gate failure
+            raise SystemExit(f"{path}: syntax error during docs gate: {exc}")
+        doc = ast.get_docstring(tree) or ""
+        if len(doc.strip()) < min_length:
+            missing.append(str(path.relative_to(root.parent)))
+    return missing
+
+
+@register
+class ModuleDocstringRule(Rule):
+    id = "MEGA007"
+    name = "module-docstring"
+    rationale = ("public modules must document their purpose; a short "
+                 "placeholder does not count")
+
+    def enabled_for(self, ctx) -> bool:
+        return is_public_module_parts(ctx.module.split("."))
+
+    def end_module(self, ctx) -> None:
+        doc = (ast.get_docstring(ctx.tree) or "").strip()
+        minimum = ctx.config.docstring_min_length
+        if len(doc) < minimum:
+            what = "missing" if not doc else f"placeholder ({len(doc)} chars)"
+            ctx.report(self, 1,
+                       f"public module '{ctx.module}' has a {what} module "
+                       f"docstring (need >= {minimum} chars)")

@@ -1,0 +1,54 @@
+"""MEGA005 — no bare or blind ``except`` that swallows errors.
+
+The cache and checkpoint subsystems promise "corruption is a miss,
+never a crash" — which only holds when every handler *does* something:
+invalidate the entry, count the miss, fall back.  A bare ``except:``
+(which also eats ``KeyboardInterrupt``/``SystemExit``) or an
+``except Exception: pass`` hides the corruption instead, and the cache
+serves garbage forever after.
+
+Flagged everywhere under ``src/``:
+
+* bare ``except:`` handlers, always;
+* ``except Exception`` / ``except BaseException`` handlers whose body
+  is only ``pass`` / ``continue`` / ``...`` — a broad catch is fine
+  *if* it handles (narrow catches like ``except OSError: pass`` around
+  a best-effort unlink are allowed).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.megalint.astutil import body_only_swallows, dotted_name
+from tools.megalint.registry import Rule, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(node: ast.expr) -> bool:
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad(e) for e in node.elts)
+    flat = dotted_name(node)
+    return flat is not None and flat.split(".")[-1] in _BROAD
+
+
+@register
+class ErrorSwallowRule(Rule):
+    id = "MEGA005"
+    name = "error-swallow"
+    rationale = ("bare except / broad except-with-empty-body hides "
+                 "corruption in cache and checkpoint paths")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler, ctx) -> None:
+        if node.type is None:
+            ctx.report(self, node,
+                       "bare 'except:' catches SystemExit and "
+                       "KeyboardInterrupt too — name the exceptions "
+                       "(at most 'except Exception') and handle them")
+            return
+        if _is_broad(node.type) and body_only_swallows(node.body):
+            ctx.report(self, node,
+                       "broad except with an empty body silently "
+                       "swallows every error — handle it (invalidate, "
+                       "count, fall back) or narrow the exception type")

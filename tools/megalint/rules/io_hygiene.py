@@ -1,0 +1,33 @@
+"""MEGA009 — library code does not ``print``.
+
+Everything under ``src/repro`` except the CLI is a library: it is
+driven by trainers, worker pools, benchmarks, and tests that own
+stdout.  A stray ``print`` inside a kernel or the pipeline interleaves
+with worker output, corrupts ``--format json`` consumers, and is
+invisible in production logs.  Return values, raise, or route through
+the CLI layer; modules whose *job* is user-facing output are listed in
+``print-allowed``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.megalint.registry import Rule, register
+
+
+@register
+class NoPrintRule(Rule):
+    id = "MEGA009"
+    name = "no-print"
+    rationale = ("library modules must not print; stdout belongs to the "
+                 "CLI layer")
+
+    def enabled_for(self, ctx) -> bool:
+        return not ctx.in_modules(ctx.config.print_allowed)
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(self, node,
+                       "print() in library code — return the data, "
+                       "raise, or move the output to repro.cli")

@@ -1,0 +1,61 @@
+"""MEGA001 — import layering.
+
+The scheduling substrate (``repro.core``/``repro.graph``/``repro.tensor``)
+must never import the layers built on top of it (``repro.models``,
+``repro.train``, ``repro.pipeline``, ``repro.distributed``).  An upward
+import creates a cycle-in-waiting and couples Algorithm 1's correctness
+to training-loop code; the dependency arrows in
+``docs/architecture.md`` only point downward.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.megalint.registry import Rule, register
+
+
+def _resolve_relative(ctx, node: ast.ImportFrom) -> str:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module or ""
+    base_parts = ctx.package.split(".") if ctx.package else []
+    # level=1 means "this package"; each extra level strips one parent.
+    strip = node.level - 1
+    if strip:
+        base_parts = base_parts[:-strip] if strip < len(base_parts) else []
+    if node.module:
+        base_parts = base_parts + node.module.split(".")
+    return ".".join(base_parts)
+
+
+@register
+class ImportLayeringRule(Rule):
+    id = "MEGA001"
+    name = "import-layering"
+    rationale = ("low layers (core/graph/tensor) must not import high "
+                 "layers (models/train/pipeline/distributed)")
+
+    def enabled_for(self, ctx) -> bool:
+        return ctx.in_modules(ctx.config.low_layers)
+
+    def _check_target(self, node: ast.AST, ctx, target: str) -> None:
+        for high in ctx.config.high_layers:
+            if target == high or target.startswith(high + "."):
+                low = next(p for p in ctx.config.low_layers
+                           if ctx.in_modules([p]))
+                ctx.report(self, node,
+                           f"low-layer module '{ctx.module}' (layer "
+                           f"'{low}') imports high-layer '{target}' — "
+                           "invert the dependency or move the shared "
+                           "piece down")
+                return
+
+    def visit_Import(self, node: ast.Import, ctx) -> None:
+        for alias in node.names:
+            self._check_target(node, ctx, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx) -> None:
+        target = _resolve_relative(ctx, node)
+        if target:
+            self._check_target(node, ctx, target)

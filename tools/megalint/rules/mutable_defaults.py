@@ -1,0 +1,59 @@
+"""MEGA006 — no mutable default arguments (including dataclass fields).
+
+A ``def f(acc=[])`` default is evaluated once and shared across every
+call; in a codebase whose pipeline ships config objects to worker
+processes and caches results by value, aliased mutable state is a
+correctness bug waiting for its second caller.  Dataclass class-level
+defaults get the same treatment: ``field(default_factory=list)`` is
+the sanctioned spelling (some mutable defaults crash at class-creation
+time, but e.g. a shared ``np.ndarray`` or ``deque`` would not).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.megalint.astutil import decorator_is, is_mutable_literal
+from tools.megalint.registry import Rule, register
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "MEGA006"
+    name = "mutable-default"
+    rationale = ("mutable default arguments and dataclass field defaults "
+                 "alias state across calls/instances")
+
+    def _check_function(self, node, ctx) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            if is_mutable_literal(default):
+                ctx.report(self, default,
+                           f"mutable default argument in '{node.name}' — "
+                           "use None and create the container inside, "
+                           "or a tuple/frozenset")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx) -> None:
+        self._check_function(node, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx) -> None:
+        self._check_function(node, ctx)
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx) -> None:
+        if not any(decorator_is(d, "dataclass")
+                   for d in node.decorator_list):
+            return
+        for stmt in node.body:
+            value = None
+            if isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            elif isinstance(stmt, ast.Assign):
+                value = stmt.value
+            if value is not None and is_mutable_literal(value):
+                ctx.report(self, value,
+                           f"mutable dataclass field default in "
+                           f"'{node.name}' — use "
+                           "field(default_factory=...)")

@@ -1,0 +1,138 @@
+"""MEGA008 — ``__all__`` must agree with the names a module defines.
+
+``tests/integration/test_api_hygiene.py`` checks this dynamically for
+the packages it knows about; this rule makes the same contract static,
+import-free, and universal: every string in a literal ``__all__`` must
+be bound at module top level (def / class / import / assignment), and
+no name may appear twice.  A stale entry breaks ``from pkg import *``
+and lies to readers about the public surface.
+
+Modules that build ``__all__`` dynamically (concatenation of other
+lists, loops, ``+=`` of names) are skipped — static analysis cannot
+judge them, and the dynamic hygiene test still covers the shipped
+packages.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from tools.megalint.registry import Rule, register
+
+
+def _bound_names(body) -> Set[str]:
+    """Names bound by top-level statements (descending into if/try)."""
+    names: Set[str] = set()
+    for stmt in _flatten(body):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    names.add("*")  # star import: unknowable surface
+                else:
+                    names.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names.update(_target_names(target))
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(stmt.target))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            names.update(_target_names(stmt.target))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    names.update(_target_names(item.optional_vars))
+    return names
+
+
+def _flatten(body) -> Iterator[ast.stmt]:
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While,
+                             ast.With, ast.AsyncWith)):
+            yield from _flatten(stmt.body)
+            yield from _flatten(getattr(stmt, "orelse", []))
+        elif isinstance(stmt, ast.Try):
+            yield from _flatten(stmt.body)
+            for handler in stmt.handlers:
+                yield from _flatten(handler.body)
+            yield from _flatten(stmt.orelse)
+            yield from _flatten(stmt.finalbody)
+
+
+def _target_names(target) -> Set[str]:
+    names = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _literal_all(stmt) -> Optional[ast.expr]:
+    """The value node when ``stmt`` is a plain ``__all__ = ...``."""
+    if isinstance(stmt, ast.Assign):
+        if any(isinstance(t, ast.Name) and t.id == "__all__"
+               for t in stmt.targets):
+            return stmt.value
+    if (isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__all__"):
+        return stmt.value
+    return None
+
+
+@register
+class DunderAllRule(Rule):
+    id = "MEGA008"
+    name = "dunder-all"
+    rationale = ("every __all__ entry must name something the module "
+                 "actually binds; no duplicates")
+
+    def end_module(self, ctx) -> None:
+        assignments = [(stmt, value) for stmt in ctx.tree.body
+                       for value in [_literal_all(stmt)]
+                       if value is not None]
+        if not assignments:
+            return
+        # Any __all__ mutation elsewhere (augassign, method calls) makes
+        # the surface dynamic: skip rather than guess.
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.AugAssign)
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id == "__all__"):
+                return
+        stmt, value = assignments[-1]
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return  # dynamically built: not statically checkable
+        entries = []
+        for elt in value.elts:
+            if not (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)):
+                ctx.report(self, elt,
+                           "__all__ entries must be string literals")
+                return
+            entries.append((elt, elt.value))
+        bound = _bound_names(ctx.tree.body)
+        if "*" in bound:
+            return  # star import: cannot enumerate the real surface
+        seen = set()
+        for elt, name in entries:
+            if name in seen:
+                ctx.report(self, elt,
+                           f"duplicate __all__ entry '{name}'")
+                continue
+            seen.add(name)
+            if name == "__version__" or name in bound:
+                continue
+            if name.startswith("__") and name.endswith("__"):
+                continue  # module dunders are implicitly defined
+            ctx.report(self, elt,
+                       f"__all__ exports '{name}' but the module never "
+                       "binds it — remove the entry or define/import "
+                       "the name")
