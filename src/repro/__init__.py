@@ -16,12 +16,16 @@ Top-level convenience re-exports.  Sub-packages:
 __version__ = "1.0.0"
 
 from repro.errors import (
+    CheckpointError,
     ConfigError,
+    DivergenceError,
+    FaultInjectionError,
     GraphError,
     ReproError,
     ScheduleError,
     ShapeError,
     SimulationError,
+    TransientError,
 )
 
 __all__ = [
@@ -32,4 +36,8 @@ __all__ = [
     "ScheduleError",
     "ConfigError",
     "SimulationError",
+    "CheckpointError",
+    "TransientError",
+    "FaultInjectionError",
+    "DivergenceError",
 ]

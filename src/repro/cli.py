@@ -44,6 +44,9 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_CACHE_DIR or ~/.cache/repro/schedules)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent schedule cache")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="retry budget per preprocessing chunk "
+                             "(default: pipeline's bounded-backoff policy)")
 
 
 def _resolve_cache_dir(args: argparse.Namespace):
@@ -85,7 +88,8 @@ def cmd_preprocess(args: argparse.Namespace) -> int:
     config = MegaConfig(window=args.window, coverage=args.coverage)
     start = time.perf_counter()
     pre = ds.precompute(config, workers=args.workers,
-                        cache_dir=_resolve_cache_dir(args))
+                        cache_dir=_resolve_cache_dir(args),
+                        max_retries=args.max_retries)
     elapsed = time.perf_counter() - start
     schedules = pre.flat_schedules()
     expansions = [rep.expansion
@@ -128,8 +132,12 @@ def cmd_train(args: argparse.Namespace) -> int:
     trainer = Trainer(model, ds, method=args.method,
                       batch_size=args.batch_size, lr=args.lr,
                       workers=args.workers,
-                      cache_dir=_resolve_cache_dir(args))
-    history = trainer.fit(args.epochs)
+                      cache_dir=_resolve_cache_dir(args),
+                      max_retries=args.max_retries)
+    history = trainer.fit(args.epochs,
+                          checkpoint_dir=args.checkpoint_dir,
+                          checkpoint_every=args.checkpoint_every,
+                          resume=args.resume)
     metric = "acc" if ds.task == "classification" else "MAE"
     for rec in history.records:
         print(f"epoch {rec.epoch:3d}  loss {rec.train_loss:.4f}  "
@@ -166,7 +174,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                              batch_size=args.batch_size,
                              num_epochs=args.epochs, lr=args.lr,
                              workers=args.workers,
-                             cache_dir=_resolve_cache_dir(args))
+                             cache_dir=_resolve_cache_dir(args),
+                             max_retries=args.max_retries)
     base = result.baseline.records[-1]
     mega = result.mega.records[-1]
     print(f"{args.dataset} + {args.model}: "
@@ -212,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="mega", choices=METHODS[:2])
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--lr", type=float, default=1e-3)
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="write an atomic rolling checkpoint here; "
+                        "enables crash-safe resume and NaN rollback")
+    p.add_argument("--checkpoint-every", type=int, default=1,
+                   help="epochs between checkpoint writes")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the checkpoint in --checkpoint-dir")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("analyze", help="schedule-quality report per graph")

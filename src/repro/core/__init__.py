@@ -8,6 +8,7 @@
 - :mod:`repro.core.edge_drop` — DropEdge augmentation (Fig. 15)
 """
 
+from repro.core.atomic_io import atomic_write_bytes, sweep_stale_tmp
 from repro.core.config import DEFAULT_CONFIG, MegaConfig
 from repro.core.schedule import TraversalResult, resolve_start, traverse
 from repro.core.path import BandPlan, PathRepresentation
@@ -55,6 +56,8 @@ from repro.core.isomorphism import (
 )
 
 __all__ = [
+    "atomic_write_bytes",
+    "sweep_stale_tmp",
     "MegaConfig",
     "DEFAULT_CONFIG",
     "traverse",

@@ -86,19 +86,27 @@ class GraphDataset:
 
     def precompute(self, config: Optional["MegaConfig"] = None, *,
                    workers: int = 1, cache=None, cache_dir=None,
-                   max_bytes: Optional[int] = None) -> DatasetSchedules:
+                   max_bytes: Optional[int] = None,
+                   max_retries: Optional[int] = None,
+                   fault_plan=None, sleep=None) -> DatasetSchedules:
         """Run MEGA preprocessing for every graph in every split.
 
         Delegates to :func:`repro.pipeline.precompute_paths`: misses fan
         out across ``workers`` processes and, when ``cache`` or
         ``cache_dir`` is given, schedules persist on disk so later
-        processes skip the traversal entirely.
+        processes skip the traversal entirely.  ``max_retries``,
+        ``fault_plan``, and ``sleep`` feed the pipeline's fault-tolerance
+        layer (see ``docs/resilience.md``).
         """
         from repro.pipeline import precompute_paths
+        from repro.resilience import RetryPolicy
 
+        retry = (RetryPolicy(max_attempts=max_retries)
+                 if max_retries is not None else None)
         result = precompute_paths(
             self.all_graphs(), config, workers=workers,
-            cache=cache, cache_dir=cache_dir, max_bytes=max_bytes)
+            cache=cache, cache_dir=cache_dir, max_bytes=max_bytes,
+            retry=retry, fault_plan=fault_plan, sleep=sleep)
         paths: Dict[str, List] = {}
         plans: Dict[str, List] = {}
         cursor = 0

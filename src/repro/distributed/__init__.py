@@ -1,10 +1,17 @@
-"""Distributed-training analysis: partitioners and communication models."""
+"""Distributed-training analysis: partitioners, communication models,
+and failure/recovery replay (``failures``)."""
 
 from repro.distributed.comm import (
     CommReport,
     communication_sweep,
     edge_cut_communication,
     path_partition_communication,
+)
+from repro.distributed.failures import (
+    FailureReport,
+    failure_sweep,
+    simulate_edge_cut_failures,
+    simulate_path_failures,
 )
 from repro.distributed.path_partition import (
     PathPartition,
@@ -13,7 +20,10 @@ from repro.distributed.path_partition import (
 )
 from repro.distributed.simulate import (
     ClusterSpec,
+    DeviceStats,
     RoundReport,
+    edge_cut_device_stats,
+    path_device_stats,
     scaling_sweep,
     simulate_edge_cut_round,
     simulate_path_round,
@@ -24,11 +34,18 @@ __all__ = [
     "edge_cut_communication",
     "path_partition_communication",
     "communication_sweep",
+    "FailureReport",
+    "failure_sweep",
+    "simulate_edge_cut_failures",
+    "simulate_path_failures",
     "PathPartition",
     "partition_path",
     "path_communication",
     "ClusterSpec",
+    "DeviceStats",
     "RoundReport",
+    "edge_cut_device_stats",
+    "path_device_stats",
     "simulate_edge_cut_round",
     "simulate_path_round",
     "scaling_sweep",

@@ -1,0 +1,129 @@
+"""Node failure and recovery under the two partition layouts.
+
+The §IV-B6 sweeps assume every device survives every round.  Real
+clusters do not, and the *cost of recovery* depends on the layout: when
+an edge-cut rank dies it must re-fetch boundary rows from **every**
+peer it talks to (approaching all-to-all as k grows), while a failed
+path-partition rank re-pulls two fixed-size halos from its neighbours
+and recomputes one contiguous chunk.  This module replays that
+asymmetry with deterministic failures drawn from a
+:class:`repro.resilience.FaultPlan`, so the communication reports can
+include retry traffic.
+
+Failures are injected per ``(round, rank)`` through
+:meth:`FaultPlan.node_fails` — the same ranks fail for both layouts,
+so a sweep row compares recovery cost, not luck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.path import PathRepresentation
+from repro.distributed.simulate import (
+    ClusterSpec,
+    DeviceStats,
+    edge_cut_device_stats,
+    path_device_stats,
+)
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+from repro.resilience import FaultPlan
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Aggregate cost of ``rounds`` rounds with failures and recovery."""
+
+    method: str
+    partitions: int
+    rounds: int
+    failures: int              # (round, rank) failure events
+    base_s: float              # failure-free time for all rounds
+    retry_s: float             # added recovery time
+    retry_rows: float          # embedding rows re-shipped for recovery
+
+    @property
+    def total_s(self) -> float:
+        return self.base_s + self.retry_s
+
+    @property
+    def overhead(self) -> float:
+        """Recovery time as a fraction of the failure-free time."""
+        return self.retry_s / self.base_s if self.base_s else 0.0
+
+
+def _replay(stats: DeviceStats, rounds: int,
+            fault_plan: FaultPlan) -> FailureReport:
+    """Charge each failed rank one redo of its compute + exchange."""
+    if rounds <= 0:
+        raise SimulationError("rounds must be positive")
+    report = stats.round_report()
+    base = report.total_s * rounds
+    failures = 0
+    retry_s = 0.0
+    retry_rows = 0.0
+    for round_index in range(rounds):
+        for rank in range(stats.partitions):
+            if not fault_plan.node_fails(round_index, rank):
+                continue
+            failures += 1
+            # Recovery: the rank re-fetches its boundary rows (paying
+            # its exchange time again) and recomputes its share.  The
+            # surviving ranks idle meanwhile, so the round stretches by
+            # the full recovery time.
+            retry_s += float(stats.comm_s[rank] + stats.compute_s[rank])
+            retry_rows += float(stats.exchange_rows[rank])
+    return FailureReport(method=stats.method, partitions=stats.partitions,
+                         rounds=rounds, failures=failures, base_s=base,
+                         retry_s=retry_s, retry_rows=retry_rows)
+
+
+def simulate_edge_cut_failures(graph: Graph, k: int, feature_dim: int,
+                               rounds: int, fault_plan: FaultPlan,
+                               spec: Optional[ClusterSpec] = None,
+                               seed: int = 0) -> FailureReport:
+    """Failure/recovery replay for the edge-cut layout."""
+    stats = edge_cut_device_stats(graph, k, feature_dim, spec, seed)
+    return _replay(stats, rounds, fault_plan)
+
+
+def simulate_path_failures(path_rep: PathRepresentation, k: int,
+                           feature_dim: int, rounds: int,
+                           fault_plan: FaultPlan,
+                           spec: Optional[ClusterSpec] = None
+                           ) -> FailureReport:
+    """Failure/recovery replay for MEGA's path partition."""
+    stats = path_device_stats(path_rep, k, feature_dim, spec)
+    return _replay(stats, rounds, fault_plan)
+
+
+def failure_sweep(graph: Graph, path_rep: PathRepresentation,
+                  ks: List[int], fault_plan: FaultPlan,
+                  rounds: int = 16, feature_dim: int = 64,
+                  spec: Optional[ClusterSpec] = None,
+                  seed: int = 0) -> List[dict]:
+    """Side-by-side failure overhead across partition counts.
+
+    Same deterministic ``(round, rank)`` failures hit both layouts, so
+    each row isolates the recovery-cost asymmetry: edge-cut retry rows
+    track the cut size, path retry rows stay at two halos per failure.
+    """
+    rows = []
+    for k in ks:
+        edge = simulate_edge_cut_failures(
+            graph, k, feature_dim, rounds, fault_plan, spec, seed)
+        path = simulate_path_failures(
+            path_rep, k, feature_dim, rounds, fault_plan, spec)
+        rows.append({
+            "k": k,
+            "failures": edge.failures,
+            "edge_cut_retry_rows": edge.retry_rows,
+            "path_retry_rows": path.retry_rows,
+            "edge_cut_overhead": edge.overhead,
+            "path_overhead": path.overhead,
+            "edge_cut_total_s": edge.total_s,
+            "path_total_s": path.total_s,
+        })
+    return rows

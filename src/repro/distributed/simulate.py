@@ -49,10 +49,37 @@ class RoundReport:
         return self.compute_s + self.communication_s
 
 
-def simulate_edge_cut_round(graph: Graph, k: int, feature_dim: int,
-                            spec: Optional[ClusterSpec] = None,
-                            seed: int = 0) -> RoundReport:
-    """Round time for a balanced edge-cut node partition."""
+@dataclass(frozen=True)
+class DeviceStats:
+    """Per-device decomposition of one aggregation round.
+
+    The round simulators reduce this to a :class:`RoundReport`
+    (slowest device wins); :mod:`repro.distributed.failures` replays it
+    per failed rank to price recovery traffic.
+    """
+
+    method: str
+    partitions: int
+    compute_s: "np.ndarray"        # per-device aggregation time
+    comm_s: "np.ndarray"           # per-device exchange time
+    exchange_rows: "np.ndarray"    # embedding rows each device ships/round
+    peer_counts: "np.ndarray"      # distinct partners each device talks to
+
+    def round_report(self) -> RoundReport:
+        loads = self.compute_s
+        mean = loads.mean() if loads.size else 0.0
+        return RoundReport(
+            method=self.method, partitions=self.partitions,
+            compute_s=float(loads.max()) if loads.size else 0.0,
+            communication_s=float(self.comm_s.max())
+            if self.comm_s.size else 0.0,
+            imbalance=float(loads.max() / mean) if mean else 1.0)
+
+
+def edge_cut_device_stats(graph: Graph, k: int, feature_dim: int,
+                          spec: Optional[ClusterSpec] = None,
+                          seed: int = 0) -> DeviceStats:
+    """Per-device load/communication of an edge-cut node partition."""
     spec = spec or ClusterSpec()
     if k <= 0:
         raise SimulationError("k must be positive")
@@ -61,10 +88,9 @@ def simulate_edge_cut_round(graph: Graph, k: int, feature_dim: int,
     s, d = graph.directed_edges()
     # Per-device aggregation load: messages landing on its vertices.
     loads = np.bincount(assignment[d], minlength=k).astype(float)
-    compute = loads.max() / spec.device_row_rate
-    # Communication: every cut edge ships a row each way.  The busiest
-    # device pays its own cross volume plus one message-latency
-    # handshake per peer — the all-to-all degradation the paper cites.
+    # Communication: every cut edge ships a row each way.  Each device
+    # pays its own cross volume plus one message-latency handshake per
+    # peer — the all-to-all degradation the paper cites.
     row_bytes = feature_dim * 4
     device_volume = np.zeros(k)
     device_peers = [set() for _ in range(k)]
@@ -74,21 +100,19 @@ def simulate_edge_cut_round(graph: Graph, k: int, feature_dim: int,
             device_volume[b] += 1
             device_peers[a].add(int(b))
             device_peers[b].add(int(a))
-    per_device = [device_volume[i] * row_bytes / spec.link_bandwidth
-                  + len(device_peers[i]) * spec.message_latency_us * 1e-6
-                  for i in range(k)]
-    comm = max(per_device) if per_device else 0.0
-    mean_load = loads.mean() if loads.size else 0.0
-    return RoundReport(method="edge_cut", partitions=k,
-                       compute_s=compute, communication_s=comm,
-                       imbalance=float(loads.max() / mean_load)
-                       if mean_load else 1.0)
+    peer_counts = np.asarray([len(p) for p in device_peers], dtype=float)
+    comm = (device_volume * row_bytes / spec.link_bandwidth
+            + peer_counts * spec.message_latency_us * 1e-6)
+    return DeviceStats(method="edge_cut", partitions=k,
+                       compute_s=loads / spec.device_row_rate,
+                       comm_s=comm, exchange_rows=device_volume,
+                       peer_counts=peer_counts)
 
 
-def simulate_path_round(path_rep: PathRepresentation, k: int,
-                        feature_dim: int,
-                        spec: Optional[ClusterSpec] = None) -> RoundReport:
-    """Round time for MEGA's contiguous path partition."""
+def path_device_stats(path_rep: PathRepresentation, k: int,
+                      feature_dim: int,
+                      spec: Optional[ClusterSpec] = None) -> DeviceStats:
+    """Per-device load/communication of MEGA's contiguous path partition."""
     spec = spec or ClusterSpec()
     part = partition_path(path_rep, k)
     sizes = part.sizes().astype(float)
@@ -97,18 +121,34 @@ def simulate_path_round(path_rep: PathRepresentation, k: int,
     msg_per_pos = (2.0 * path_rep.band.num_edges
                    / max(path_rep.length, 1))
     loads = sizes * msg_per_pos
-    compute = loads.max() / spec.device_row_rate
     row_bytes = feature_dim * 4
-    halo_bytes = 2 * path_rep.window * row_bytes
-    # Each interior device exchanges halos with both neighbours, in
-    # parallel across pairs: one halo transfer + latency.
-    comm = (halo_bytes / spec.link_bandwidth
-            + spec.message_latency_us * 1e-6) * (2 if k > 1 else 0)
-    mean_load = loads.mean() if loads.size else 0.0
-    return RoundReport(method="path", partitions=k,
-                       compute_s=compute, communication_s=comm,
-                       imbalance=float(loads.max() / mean_load)
-                       if mean_load else 1.0)
+    halo_rows = 2.0 * path_rep.window
+    # Each device exchanges halos with both neighbours, in parallel
+    # across pairs: one halo transfer + latency per direction (the two
+    # directions collapse onto one neighbour at k == 2).
+    peer_counts = np.full(k, 2.0 if k > 1 else 0.0)
+    comm = peer_counts * (halo_rows * row_bytes / spec.link_bandwidth
+                          + spec.message_latency_us * 1e-6)
+    return DeviceStats(method="path", partitions=k,
+                       compute_s=loads / spec.device_row_rate,
+                       comm_s=comm,
+                       exchange_rows=peer_counts * halo_rows,
+                       peer_counts=peer_counts)
+
+
+def simulate_edge_cut_round(graph: Graph, k: int, feature_dim: int,
+                            spec: Optional[ClusterSpec] = None,
+                            seed: int = 0) -> RoundReport:
+    """Round time for a balanced edge-cut node partition."""
+    return edge_cut_device_stats(
+        graph, k, feature_dim, spec, seed).round_report()
+
+
+def simulate_path_round(path_rep: PathRepresentation, k: int,
+                        feature_dim: int,
+                        spec: Optional[ClusterSpec] = None) -> RoundReport:
+    """Round time for MEGA's contiguous path partition."""
+    return path_device_stats(path_rep, k, feature_dim, spec).round_report()
 
 
 def scaling_sweep(graph: Graph, path_rep: PathRepresentation,

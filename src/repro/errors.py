@@ -23,3 +23,24 @@ class ConfigError(ReproError):
 
 class SimulationError(ReproError):
     """Raised by the GPU memory simulator on invalid traces or device specs."""
+
+
+class CheckpointError(ConfigError):
+    """Raised on unreadable, torn, or key-mismatched checkpoint archives."""
+
+
+class TransientError(ReproError):
+    """A retryable failure (crashed worker, flaky I/O); a retry may succeed.
+
+    The retry helpers in :mod:`repro.resilience` treat this class (and
+    ``OSError``) as the signal that re-attempting the operation is
+    meaningful; every other exception propagates immediately.
+    """
+
+
+class FaultInjectionError(TransientError):
+    """A deterministic fault raised by a :class:`repro.resilience.FaultPlan`."""
+
+
+class DivergenceError(ReproError):
+    """Training produced a non-finite loss and no checkpoint could absorb it."""

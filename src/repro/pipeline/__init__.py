@@ -14,7 +14,14 @@ scale:
 - :mod:`repro.pipeline.stats` — hit/miss/invalidation counters the CLI
   surfaces.
 
-See ``docs/preprocessing.md`` for the user guide and
+Failures are routine at this scale: chunk computations retry with
+bounded backoff, a dead executor degrades the run to serial, corrupt
+cache entries are recomputed, and pathological graphs can be
+quarantined instead of killing the batch — all deterministically
+testable through :class:`repro.resilience.FaultPlan`.
+
+See ``docs/preprocessing.md`` for the user guide,
+``docs/resilience.md`` for the failure matrix, and
 ``docs/architecture.md`` for where the pipeline sits in the system.
 """
 
@@ -37,7 +44,7 @@ from repro.pipeline.parallel import (
     materialise,
     precompute_paths,
 )
-from repro.pipeline.stats import CacheStats, PipelineStats
+from repro.pipeline.stats import CacheStats, PipelineStats, QuarantineRecord
 
 __all__ = [
     "ScheduleCache",
@@ -55,4 +62,5 @@ __all__ = [
     "materialise",
     "CacheStats",
     "PipelineStats",
+    "QuarantineRecord",
 ]

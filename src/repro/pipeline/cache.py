@@ -8,13 +8,20 @@ Layout on disk (everything lives under one cache directory)::
 
 Guarantees
 ----------
-* **Atomic writes** — payloads and the index are written to a temporary
-  sibling and ``os.replace``-d into place, so readers never observe a
-  half-written file and a crash mid-write leaves the previous state.
+* **Atomic writes** — payloads and the index go through
+  :func:`repro.core.atomic_io.atomic_write_bytes` (temporary sibling +
+  ``os.replace``), so readers never observe a half-written file and a
+  crash mid-write leaves the previous state.
 * **Corruption is a miss, never a crash** — every read re-hashes the
   file and compares against the recorded checksum; mismatches,
   unreadable archives, and payload-version drift all delete the entry,
-  count an invalidation, and fall back to recomputation.
+  count an invalidation (split into ``corrupt_checksum`` /
+  ``corrupt_payload`` in :class:`CacheStats`), and fall back to
+  recomputation.
+* **Crash recovery** — opening a cache sweeps ``.tmp.`` litter left by
+  writers killed mid-write (counted as ``stale_tmp``); a deleted cache
+  directory mid-run degrades to all-miss behaviour and is recreated on
+  the next write.
 * **Bounded size** — with ``max_bytes`` set, least-recently-used
   entries are evicted after each write (LRU order comes from a logical
   clock in the index, so behaviour is deterministic).
@@ -30,12 +37,12 @@ from __future__ import annotations
 import io
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.atomic_io import atomic_write_bytes, sweep_stale_tmp
 from repro.core.diagonal import AttentionPlan
 from repro.core.schedule import TraversalResult
 from repro.pipeline.hashing import CACHE_FORMAT_VERSION, file_checksum
@@ -144,6 +151,10 @@ class ScheduleCache:
         self._clock = 0
         self._dirty = False
         self._load_index()
+        # Crash recovery: a writer killed mid-write leaves `.tmp.`
+        # litter next to intact payloads.  Single-writer discipline
+        # makes opening the cache a safe moment to sweep it.
+        self.stats.stale_tmp += sweep_stale_tmp(self.dir)
 
     # ------------------------------------------------------------------
     # Index handling
@@ -179,19 +190,9 @@ class ScheduleCache:
         self._dirty = False
 
     def _atomic_write(self, dest: Path, data: bytes) -> None:
-        self.dir.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(self.dir),
-                                   prefix=dest.name + ".tmp.")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp, dest)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        # fsync=False: entries are recomputable, so losing the newest
+        # writes to a power failure is acceptable; torn files are not.
+        atomic_write_bytes(dest, data, fsync=False)
 
     def _touch(self, key: str) -> None:
         self._clock += 1
@@ -201,14 +202,20 @@ class ScheduleCache:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def _payload_path(self, key: str) -> Path:
+    def payload_path(self, key: str) -> Path:
+        """On-disk location of one entry's ``.npz`` payload.
+
+        Public so the fault-injection harness
+        (:func:`repro.resilience.corrupt_cache_entry`) and tests can
+        target entries without relying on layout internals.
+        """
         return self.dir / f"{key}.npz"
 
     def __len__(self) -> int:
         return len(self._index)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._index or self._payload_path(key).exists()
+        return key in self._index or self.payload_path(key).exists()
 
     @property
     def total_bytes(self) -> int:
@@ -218,7 +225,7 @@ class ScheduleCache:
     def get(self, key: str
             ) -> Optional[Tuple[TraversalResult, AttentionPlan]]:
         """Fetch and verify one entry; ``None`` on miss or corruption."""
-        path = self._payload_path(key)
+        path = self.payload_path(key)
         entry = self._index.get(key)
         try:
             data = path.read_bytes()
@@ -231,6 +238,7 @@ class ScheduleCache:
             return None
         if entry is not None and file_checksum(data) != entry.get("sha256"):
             self._invalidate(key)
+            self.stats.corrupt_checksum += 1
             self.stats.misses += 1
             return None
         try:
@@ -239,6 +247,7 @@ class ScheduleCache:
         except Exception:
             # Truncated zip, missing arrays, version drift, bad shapes.
             self._invalidate(key)
+            self.stats.corrupt_payload += 1
             self.stats.misses += 1
             return None
         if entry is None:
@@ -265,7 +274,7 @@ class ScheduleCache:
         # read cost is what the cache exists to minimise.
         np.savez(buffer, **pack_entry(result, plan))
         data = buffer.getvalue()
-        self._atomic_write(self._payload_path(key), data)
+        self._atomic_write(self.payload_path(key), data)
         self._index[key] = {"size": len(data),
                             "sha256": file_checksum(data),
                             "last_used": 0}
@@ -292,7 +301,7 @@ class ScheduleCache:
         self._index.pop(key, None)
         self._dirty = True
         try:
-            os.unlink(self._payload_path(key))
+            os.unlink(self.payload_path(key))
         except OSError:
             pass
 

@@ -9,6 +9,7 @@ distinguishable without profiling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List
 
 
 @dataclass
@@ -25,6 +26,15 @@ class CacheStats:
         Entries that existed but were discarded — checksum mismatch,
         unreadable archive, or payload-version drift.  Each invalidation
         also counts as a miss (the schedule is recomputed).
+    corrupt_checksum:
+        Invalidations whose cause was a checksum mismatch against the
+        index (bit rot, torn write under the real name).
+    corrupt_payload:
+        Invalidations whose cause was an undecodable/mis-shaped archive
+        (truncated zip, version drift, section-length disagreement).
+    stale_tmp:
+        ``.tmp.`` litter from killed writers removed by the startup
+        crash-recovery sweep.
     evictions:
         Entries removed by the LRU size cap.
     puts:
@@ -34,6 +44,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    corrupt_checksum: int = 0
+    corrupt_payload: int = 0
+    stale_tmp: int = 0
     evictions: int = 0
     puts: int = 0
 
@@ -51,13 +64,33 @@ class CacheStats:
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             invalidations=self.invalidations + other.invalidations,
+            corrupt_checksum=self.corrupt_checksum + other.corrupt_checksum,
+            corrupt_payload=self.corrupt_payload + other.corrupt_payload,
+            stale_tmp=self.stale_tmp + other.stale_tmp,
             evictions=self.evictions + other.evictions,
             puts=self.puts + other.puts)
 
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "invalidations": self.invalidations,
+                "corrupt_checksum": self.corrupt_checksum,
+                "corrupt_payload": self.corrupt_payload,
+                "stale_tmp": self.stale_tmp,
                 "evictions": self.evictions, "puts": self.puts}
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One graph the pipeline gave up on (after bounded retries).
+
+    ``index`` is the position in the input graph list; ``error`` the
+    ``repr`` of the final exception.  Quarantined slots surface as
+    ``None`` in :class:`~repro.pipeline.parallel.PipelineResult` so one
+    pathological graph cannot kill a thousand-graph batch silently.
+    """
+
+    index: int
+    error: str
 
 
 @dataclass
@@ -66,7 +99,10 @@ class PipelineStats:
 
     ``compute_s`` is the time spent inside Algorithm 1 (inline or across
     workers); ``total_s`` additionally includes cache probing, payload
-    (de)serialisation and result materialisation.
+    (de)serialisation and result materialisation.  ``retries`` counts
+    re-attempted chunk/graph computations, ``degraded_to_serial``
+    records a dead executor mid-run, and ``quarantined`` lists the
+    graphs that failed even after retries.
     """
 
     cache: CacheStats = field(default_factory=CacheStats)
@@ -77,6 +113,9 @@ class PipelineStats:
     workers: int = 1
     compute_s: float = 0.0
     total_s: float = 0.0
+    retries: int = 0
+    degraded_to_serial: bool = False
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
 
     def summary_line(self) -> str:
         """One-line report for CLI output."""
@@ -84,6 +123,15 @@ class PipelineStats:
             else (f"{self.cache.hits} hits / {self.cache.misses} misses"
                   + (f" / {self.cache.invalidations} invalidated"
                      if self.cache.invalidations else ""))
-        return (f"pipeline: {self.num_graphs} graphs, "
+        line = (f"pipeline: {self.num_graphs} graphs, "
                 f"{self.computed} computed ({self.workers} workers), "
                 f"cache {cached}, {self.total_s:.2f}s")
+        if self.retries:
+            line += f", {self.retries} retried"
+        if self.degraded_to_serial:
+            line += ", DEGRADED to serial (dead executor)"
+        if self.quarantined:
+            idx = ", ".join(str(q.index) for q in self.quarantined)
+            line += (f", QUARANTINED {len(self.quarantined)} "
+                     f"graph(s) [{idx}]")
+        return line

@@ -1,0 +1,224 @@
+"""Deterministic, seeded fault injection for every recovery path.
+
+Fault tolerance that cannot be exercised is a comment, not a feature.
+A :class:`FaultPlan` makes every failure mode in this repo *drivable
+from a test*: worker crashes in the preprocessing pool, corrupted cache
+entries, transient I/O errors, NaN losses mid-training, and node
+failures in the distributed round simulator.
+
+Two properties make the plan usable as a test harness:
+
+* **Determinism** — every decision is a pure function of
+  ``(seed, site, coordinates)`` via SHA-256, so the same plan injects
+  the same faults on every run, in every process, regardless of
+  ``PYTHONHASHSEED``, worker scheduling, or retry interleaving.
+* **Boundedness** — transient faults stop firing once ``attempt``
+  reaches ``max_faults_per_site``, so a bounded retry loop is
+  guaranteed to eventually see a clean attempt.  (Poisoned graphs are
+  the deliberate exception: they fail on *every* attempt, which is what
+  the pipeline's quarantine path exists for.)
+
+Plans are plain frozen dataclasses and serialise to/from JSON, so a
+failing scenario can be attached to a bug report and replayed exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field, fields
+from typing import Tuple
+
+from repro.errors import ConfigError, FaultInjectionError
+
+#: 2**64, the denominator turning a 64-bit digest prefix into [0, 1).
+_SCALE = float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serialisable schedule of injected faults.
+
+    Rates are probabilities in ``[0, 1]`` evaluated independently per
+    site; the tuple fields pin faults to exact coordinates (epochs,
+    graph indices).  The default plan injects nothing.
+
+    Attributes
+    ----------
+    seed:
+        Stream selector; two plans with different seeds fault different
+        sites at the same rates.
+    worker_crash_rate:
+        Probability that a preprocessing chunk attempt dies with a
+        (transient) :class:`~repro.errors.FaultInjectionError`.
+    io_error_rate:
+        Probability that a serial per-graph compute attempt hits a
+        transient I/O-style error.
+    cache_corrupt_rate:
+        Probability that :func:`corrupt_cache_entry` targets a given
+        key when the harness sweeps a cache.
+    nan_epochs:
+        Epochs whose training loss is replaced with NaN (once each) to
+        exercise the trainer's divergence guard.
+    poison_graphs:
+        Global graph indices that fail *deterministically on every
+        attempt* — the quarantine path's test vector.
+    break_pool_chunk:
+        Chunk index at which the process pool is declared broken,
+        forcing the pipeline's degrade-to-serial path (-1 disables).
+    node_failure_rate:
+        Probability that a simulated device fails in a given
+        aggregation round (see :mod:`repro.distributed.failures`).
+    max_faults_per_site:
+        Attempts ``>=`` this index never fault, bounding transient
+        faults so default retry policies always recover.
+    """
+
+    seed: int = 0
+    worker_crash_rate: float = 0.0
+    io_error_rate: float = 0.0
+    cache_corrupt_rate: float = 0.0
+    nan_epochs: Tuple[int, ...] = field(default_factory=tuple)
+    poison_graphs: Tuple[int, ...] = field(default_factory=tuple)
+    break_pool_chunk: int = -1
+    node_failure_rate: float = 0.0
+    max_faults_per_site: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("worker_crash_rate", "io_error_rate",
+                     "cache_corrupt_rate", "node_failure_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_faults_per_site < 0:
+            raise ConfigError("max_faults_per_site must be >= 0")
+        # Tolerate lists from JSON round-trips.
+        object.__setattr__(self, "nan_epochs", tuple(self.nan_epochs))
+        object.__setattr__(self, "poison_graphs", tuple(self.poison_graphs))
+
+    # ------------------------------------------------------------------
+    # The deterministic coin
+    # ------------------------------------------------------------------
+    def roll(self, site: str, *coords) -> float:
+        """Uniform [0, 1) draw, a pure function of (seed, site, coords)."""
+        token = ":".join([str(self.seed), site] + [str(c) for c in coords])
+        digest = hashlib.sha256(token.encode()).digest()
+        return int.from_bytes(digest[:8], "big") / _SCALE
+
+    def _transient(self, site: str, rate: float, attempt: int,
+                   *coords) -> bool:
+        if attempt >= self.max_faults_per_site:
+            return False
+        return self.roll(site, attempt, *coords) < rate
+
+    # ------------------------------------------------------------------
+    # Site-specific decisions
+    # ------------------------------------------------------------------
+    def should_crash_worker(self, chunk_index: int, attempt: int) -> bool:
+        """Does preprocessing chunk ``chunk_index`` die on ``attempt``?"""
+        return self._transient("worker", self.worker_crash_rate,
+                               attempt, chunk_index)
+
+    def should_io_error(self, graph_index: int, attempt: int) -> bool:
+        """Does the serial compute of one graph hit transient I/O?"""
+        return self._transient("io", self.io_error_rate,
+                               attempt, graph_index)
+
+    def should_corrupt_cache(self, key: str) -> bool:
+        """Is cache entry ``key`` a corruption target for the harness?"""
+        return self.roll("cache", key) < self.cache_corrupt_rate
+
+    def should_break_pool(self, chunk_index: int) -> bool:
+        """Does the executor break while collecting ``chunk_index``?"""
+        return chunk_index == self.break_pool_chunk
+
+    def nan_loss_at(self, epoch: int) -> bool:
+        """Is ``epoch``'s training loss replaced with NaN?"""
+        return epoch in self.nan_epochs
+
+    def is_poisoned(self, graph_index: int) -> bool:
+        """Does graph ``graph_index`` fail on every attempt?"""
+        return graph_index in self.poison_graphs
+
+    def node_fails(self, round_index: int, rank: int) -> bool:
+        """Does device ``rank`` fail during aggregation ``round_index``?"""
+        return (self.roll("node", round_index, rank)
+                < self.node_failure_rate)
+
+    def crash(self, site: str, *coords) -> None:
+        """Raise the canonical injected (transient) fault for a site."""
+        raise FaultInjectionError(
+            f"injected fault at {site}"
+            + (f" {coords}" if coords else ""))
+
+    # ------------------------------------------------------------------
+    # Serialisation (attach a failing scenario to a bug report)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid FaultPlan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Cache-corruption harness
+# ----------------------------------------------------------------------
+#: Supported corruption modes, in the order the fault matrix documents
+#: them (docs/resilience.md).
+CORRUPTION_MODES = ("truncate", "flip", "tmp_litter", "unlink")
+
+
+def corrupt_cache_entry(cache, key: str, mode: str = "flip") -> bool:
+    """Deliberately damage one on-disk cache entry (test harness only).
+
+    ``cache`` is any object with the :class:`ScheduleCache` disk layout
+    (``payload_path(key)`` and a ``dir``); duck-typing keeps this
+    module free of upward imports.  Returns True when damage was
+    inflicted, False when the payload file does not exist.
+
+    Modes
+    -----
+    ``truncate``   chop the payload in half (torn write / short read)
+    ``flip``       XOR one mid-file byte (bit rot; checksum mismatch)
+    ``tmp_litter`` drop a stale ``.tmp.`` sibling (killed writer)
+    ``unlink``     delete the payload behind the index's back
+    """
+    if mode not in CORRUPTION_MODES:
+        raise ConfigError(
+            f"unknown corruption mode {mode!r}; one of {CORRUPTION_MODES}")
+    path = cache.payload_path(key)
+    if mode == "tmp_litter":
+        litter = path.parent / (path.name + ".tmp.stale0000")
+        litter.parent.mkdir(parents=True, exist_ok=True)
+        litter.write_bytes(b"half-written payload from a killed writer")
+        return True
+    if not path.is_file():
+        return False
+    if mode == "unlink":
+        os.unlink(path)
+        return True
+    data = bytearray(path.read_bytes())
+    if mode == "truncate":
+        del data[len(data) // 2:]
+    else:  # flip
+        data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return True

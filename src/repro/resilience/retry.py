@@ -1,0 +1,88 @@
+"""Bounded retry with exponential backoff and an injectable sleep.
+
+The pipeline and trainer never write their own retry loops (megalint
+MEGA010 bans unbounded ones); they call :func:`call_with_retry` with a
+:class:`RetryPolicy`.  Two design points keep recovery testable:
+
+* **The sleep is a parameter.**  Production passes ``time.sleep``;
+  tests pass a recording stub, so a three-attempt exponential backoff
+  schedule is asserted in microseconds, not waited out.
+* **Only transient failures retry.**  :class:`~repro.errors.TransientError`
+  (which injected faults subclass) and ``OSError`` signal "the same
+  call may succeed next time"; everything else — a bug, a poisoned
+  graph, a shape error — propagates on the first attempt.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+from repro.errors import ConfigError, TransientError
+
+#: Default set of exception types worth re-attempting.
+TRANSIENT_TYPES: Tuple[Type[BaseException], ...] = (TransientError, OSError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try and how long to back off in between.
+
+    ``delay(attempt)`` for attempts ``0, 1, 2, ...`` follows
+    ``backoff_base_s * backoff_multiplier**attempt`` capped at
+    ``max_backoff_s`` — deliberately jitter-free so retry timing is as
+    deterministic as everything else in this repo.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0 or self.max_backoff_s < 0:
+            raise ConfigError("backoff durations must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (0-based)."""
+        return min(self.backoff_base_s * self.backoff_multiplier ** attempt,
+                   self.max_backoff_s)
+
+    def delays(self) -> Tuple[float, ...]:
+        """The full backoff schedule (one entry per possible retry)."""
+        return tuple(self.delay(a) for a in range(self.max_attempts - 1))
+
+
+def call_with_retry(fn: Callable[[int], object], *,
+                    policy: Optional[RetryPolicy] = None,
+                    sleep: Optional[Callable[[float], None]] = None,
+                    retry_on: Tuple[Type[BaseException], ...]
+                    = TRANSIENT_TYPES,
+                    on_retry: Optional[Callable[[int, BaseException], None]]
+                    = None):
+    """Call ``fn(attempt)`` until it succeeds or attempts are exhausted.
+
+    ``fn`` receives the 0-based attempt index so deterministic fault
+    injection (and logging) can key on it.  ``on_retry(attempt, exc)``
+    fires before each backoff sleep — the pipeline uses it to count
+    retries in its stats.  The final attempt's exception propagates
+    unmodified.
+    """
+    policy = policy or RetryPolicy()
+    sleep = sleep if sleep is not None else time.sleep
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(attempt)
+        except retry_on as exc:
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt))
+    raise AssertionError("unreachable: loop returns or raises")

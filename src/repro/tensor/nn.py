@@ -30,6 +30,7 @@ class Module:
     def __init__(self) -> None:
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
         object.__setattr__(self, "training", True)
 
     def __setattr__(self, key: str, value) -> None:
@@ -37,7 +38,21 @@ class Module:
             self._parameters[key] = value
         elif isinstance(value, Module):
             self._modules[key] = value
+        elif key in getattr(self, "_buffers", ()):
+            value = np.asarray(value)
+            self._buffers[key] = value
         object.__setattr__(self, key, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. BatchNorm running stats).
+
+        Buffers travel with ``state_dict``/``load_state_dict`` — without
+        this, eval-time statistics silently reset on checkpoint resume —
+        and later plain assignments to ``name`` stay registered.
+        """
+        array = np.asarray(value)
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
 
     # -- traversal ------------------------------------------------------
     def parameters(self) -> Iterator[Parameter]:
@@ -49,6 +64,21 @@ class Module:
             yield (f"{prefix}{name}", param)
         for name, module in self._modules.items():
             yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def named_buffers(
+            self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield (f"{prefix}{name}", getattr(self, name))
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def _buffer_slots(
+            self, prefix: str = "") -> Iterator[Tuple[str, "Module", str]]:
+        """(flat name, owning module, attribute) for every buffer."""
+        for name in self._buffers:
+            yield (f"{prefix}{name}", self, name)
+        for name, module in self._modules.items():
+            yield from module._buffer_slots(prefix=f"{prefix}{name}.")
 
     def modules(self) -> Iterator["Module"]:
         yield self
@@ -76,11 +106,16 @@ class Module:
 
     # -- state dict -----------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        state = {name: param.data.copy()
+                 for name, param in self.named_parameters()}
+        state.update((name, buf.copy())
+                     for name, buf in self.named_buffers())
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
+        slots = list(self._buffer_slots())
+        missing = (set(own) | {name for name, _, _ in slots}) - set(state)
         if missing:
             raise KeyError(f"state dict missing parameters: {sorted(missing)}")
         for name, param in own.items():
@@ -89,6 +124,13 @@ class Module:
                 raise ShapeError(
                     f"parameter {name}: shape {value.shape} != {param.shape}")
             param.data = value.astype(param.data.dtype, copy=True)
+        for name, module, attr in slots:
+            value = np.asarray(state[name])
+            current = getattr(module, attr)
+            if value.shape != current.shape:
+                raise ShapeError(
+                    f"buffer {name}: shape {value.shape} != {current.shape}")
+            setattr(module, attr, value.astype(current.dtype, copy=True))
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
@@ -145,8 +187,8 @@ class BatchNorm1d(Module):
         self.momentum = momentum
         self.gamma = Parameter(init.ones((dim,)), name="gamma")
         self.beta = Parameter(init.zeros((dim,)), name="beta")
-        self.running_mean = np.zeros(dim)
-        self.running_var = np.ones(dim)
+        self.register_buffer("running_mean", np.zeros(dim))
+        self.register_buffer("running_var", np.ones(dim))
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:

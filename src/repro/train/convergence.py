@@ -43,14 +43,15 @@ def run_convergence(dataset: GraphDataset, model_name: str,
                     seed: int = 0,
                     shared_numerics: bool = True,
                     workers: int = 1,
-                    cache_dir=None) -> ConvergenceResult:
+                    cache_dir=None,
+                    max_retries: Optional[int] = None) -> ConvergenceResult:
     """Fig. 11-14 style experiment for one dataset/model pair.
 
     With ``shared_numerics`` (valid at full coverage) the model trains
     once and both methods reuse the trajectory; otherwise each method
     trains its own copy of the model from the same initial seed.
-    ``workers``/``cache_dir`` feed the MEGA trainer's preprocessing
-    pipeline (see :mod:`repro.pipeline`).
+    ``workers``/``cache_dir``/``max_retries`` feed the MEGA trainer's
+    preprocessing pipeline (see :mod:`repro.pipeline`).
     """
     mega_config = mega_config or MegaConfig()
     model = build_model(model_name, dataset, hidden_dim=hidden_dim,
@@ -66,7 +67,7 @@ def run_convergence(dataset: GraphDataset, model_name: str,
                         num_layers=num_layers, seed=seed),
             dataset, method="mega", batch_size=batch_size, lr=lr,
             mega_config=mega_config, device_spec=device_spec, seed=seed,
-            workers=workers, cache_dir=cache_dir)
+            workers=workers, cache_dir=cache_dir, max_retries=max_retries)
         train_cost = mega_trainer._epoch_cost_seconds("train")
         val_cost = mega_trainer._epoch_cost_seconds("validation")
         mega_history = History(method="mega", model_name=model_name,
@@ -87,7 +88,8 @@ def run_convergence(dataset: GraphDataset, model_name: str,
                                batch_size=batch_size, lr=lr,
                                mega_config=mega_config,
                                device_spec=device_spec, seed=seed,
-                               workers=workers, cache_dir=cache_dir)
+                               workers=workers, cache_dir=cache_dir,
+                               max_retries=max_retries)
         mega_history = mega_trainer.fit(num_epochs)
 
     speedup = speedup_to_target(mega_history, base_history)

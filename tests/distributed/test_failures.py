@@ -1,0 +1,80 @@
+"""Node failure/recovery replay: determinism and the layout asymmetry."""
+
+import numpy as np
+import pytest
+
+from repro.core import MegaConfig, PathRepresentation
+from repro.distributed import (
+    failure_sweep,
+    simulate_edge_cut_failures,
+    simulate_path_failures,
+)
+from repro.errors import SimulationError
+from repro.graph.generators import erdos_renyi
+from repro.resilience import FaultPlan
+
+pytestmark = pytest.mark.faultinject
+
+
+@pytest.fixture(scope="module")
+def setting():
+    g = erdos_renyi(np.random.default_rng(0), 120, 0.06)
+    rep = PathRepresentation.from_graph(g, MegaConfig())
+    return g, rep
+
+
+class TestReplay:
+    def test_no_faults_no_overhead(self, setting):
+        _, rep = setting
+        report = simulate_path_failures(rep, 4, 64, 10, FaultPlan())
+        assert report.failures == 0
+        assert report.retry_s == 0.0
+        assert report.retry_rows == 0.0
+        assert report.overhead == 0.0
+        assert report.total_s == report.base_s
+
+    def test_failures_add_time_and_rows(self, setting):
+        g, _ = setting
+        plan = FaultPlan(seed=7, node_failure_rate=0.3)
+        report = simulate_edge_cut_failures(g, 4, 64, 10, plan)
+        assert report.failures > 0
+        assert report.retry_s > 0.0
+        assert report.total_s > report.base_s
+
+    def test_deterministic_across_calls(self, setting):
+        g, rep = setting
+        plan = FaultPlan(seed=7, node_failure_rate=0.2)
+        a = failure_sweep(g, rep, [2, 4, 8], plan, rounds=10)
+        b = failure_sweep(g, rep, [2, 4, 8], plan, rounds=10)
+        assert a == b
+
+    def test_rounds_validated(self, setting):
+        _, rep = setting
+        with pytest.raises(SimulationError):
+            simulate_path_failures(rep, 4, 64, 0, FaultPlan())
+
+
+class TestLayoutAsymmetry:
+    def test_same_failures_hit_both_layouts(self, setting):
+        g, rep = setting
+        plan = FaultPlan(seed=3, node_failure_rate=0.25)
+        for k in (2, 4, 8):
+            edge = simulate_edge_cut_failures(g, k, 64, 12, plan)
+            path = simulate_path_failures(rep, k, 64, 12, plan)
+            assert edge.failures == path.failures
+
+    def test_path_recovery_ships_fewer_rows(self, setting):
+        g, rep = setting
+        plan = FaultPlan(seed=3, node_failure_rate=0.25)
+        rows = failure_sweep(g, rep, [2, 4, 8], plan, rounds=12)
+        for row in rows:
+            assert row["failures"] > 0
+            assert row["path_retry_rows"] < row["edge_cut_retry_rows"], row
+
+    def test_path_retry_rows_bounded_by_halos(self, setting):
+        _, rep = setting
+        plan = FaultPlan(seed=3, node_failure_rate=0.25)
+        report = simulate_path_failures(rep, 8, 64, 12, plan)
+        # Each failed rank re-pulls at most two halos of 2*window rows.
+        per_failure = report.retry_rows / report.failures
+        assert per_failure <= 2 * 2 * rep.window

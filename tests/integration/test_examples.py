@@ -20,6 +20,7 @@ ARG_EXAMPLES = [
     ("distributed_partitioning.py", ["--nodes", "200"]),
     ("dynamic_stream.py", ["--updates", "40", "--nodes", "60"]),
     ("molecular_regression.py", ["--epochs", "2", "--scale", "0.005"]),
+    ("fault_tolerant_run.py", ["--epochs", "3", "--scale", "0.004"]),
 ]
 
 

@@ -398,3 +398,97 @@ class TestNoPrint:
             ''',
         }, select={"MEGA009"})
         assert result.ok
+
+
+# ---------------------------------------------------------------- MEGA010
+class TestUnboundedRetry:
+    def test_fires_on_while_true_except_continue(self, lint):
+        result = lint({
+            "repro/pipeline/poll.py": '''\
+                """Doc string long enough."""
+                def fetch(read):
+                    while True:
+                        try:
+                            return read()
+                        except OSError:
+                            continue
+            ''',
+        }, select={"MEGA010"})
+        assert rule_ids_of(result) == ["MEGA010"]
+        assert "unbounded retry" in result.violations[0].message
+
+    def test_fires_when_continue_nested_in_if(self, lint):
+        result = lint({
+            "repro/pipeline/poll2.py": '''\
+                """Doc string long enough."""
+                def fetch(read, log):
+                    while 1:
+                        try:
+                            return read()
+                        except OSError as exc:
+                            if log:
+                                log(exc)
+                            continue
+            ''',
+        }, select={"MEGA010"})
+        assert rule_ids_of(result) == ["MEGA010"]
+
+    def test_clean_when_handler_reraises_past_bound(self, lint):
+        result = lint({
+            "repro/pipeline/poll3.py": '''\
+                """Doc string long enough."""
+                def fetch(read, max_attempts=3):
+                    attempt = 0
+                    while True:
+                        try:
+                            return read()
+                        except OSError:
+                            attempt += 1
+                            if attempt >= max_attempts:
+                                raise
+                            continue
+            ''',
+        }, select={"MEGA010"})
+        assert result.ok
+
+    def test_clean_on_counted_for_loop_and_bounded_while(self, lint):
+        result = lint({
+            # call_with_retry's shape: a for-range loop is bounded.
+            "repro/resilience/rt.py": '''\
+                """Doc string long enough."""
+                def call(fn, attempts=3):
+                    for attempt in range(attempts):
+                        try:
+                            return fn(attempt)
+                        except OSError:
+                            continue
+            ''',
+            # Non-constant test: the loop condition is the bound.
+            "repro/pipeline/poll4.py": '''\
+                """Doc string long enough."""
+                def drain(queue, read):
+                    while queue:
+                        try:
+                            read(queue.pop())
+                        except OSError:
+                            continue
+            ''',
+        }, select={"MEGA010"})
+        assert result.ok
+
+    def test_inner_loop_continue_not_attributed_to_outer(self, lint):
+        result = lint({
+            "repro/pipeline/poll5.py": '''\
+                """Doc string long enough."""
+                def pump(read, items):
+                    while True:
+                        try:
+                            return read()
+                        except OSError:
+                            for item in items:
+                                if not item:
+                                    continue
+                            raise
+            ''',
+        }, select={"MEGA010"})
+        assert result.ok

@@ -1,0 +1,105 @@
+"""RetryPolicy and call_with_retry: bounded attempts, recorded backoff."""
+
+import pytest
+
+from repro.errors import ConfigError, FaultInjectionError, TransientError
+from repro.resilience import RetryPolicy, call_with_retry
+
+
+class TestRetryPolicy:
+    def test_default_backoff_schedule(self):
+        policy = RetryPolicy()
+        assert policy.delays() == (0.05, 0.1)
+
+    def test_delay_caps_at_max_backoff(self):
+        policy = RetryPolicy(max_attempts=10, backoff_base_s=0.5,
+                             backoff_multiplier=4.0, max_backoff_s=2.0)
+        assert policy.delay(0) == 0.5
+        assert policy.delay(1) == 2.0
+        assert policy.delay(8) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_multiplier=0.5)
+
+
+class TestCallWithRetry:
+    def test_success_first_attempt_no_sleep(self):
+        slept = []
+        result = call_with_retry(lambda attempt: attempt + 40,
+                                 sleep=slept.append)
+        assert result == 40
+        assert slept == []
+
+    def test_transient_failures_then_success(self):
+        slept = []
+
+        def flaky(attempt):
+            if attempt < 2:
+                raise TransientError(f"attempt {attempt}")
+            return "ok"
+
+        result = call_with_retry(flaky, sleep=slept.append)
+        assert result == "ok"
+        assert slept == [0.05, 0.1]
+
+    def test_oserror_is_retried(self):
+        def flaky(attempt):
+            if attempt == 0:
+                raise OSError("disk hiccup")
+            return attempt
+
+        assert call_with_retry(flaky, sleep=lambda s: None) == 1
+
+    def test_exhausted_attempts_raise_last_error(self):
+        def always(attempt):
+            raise TransientError(f"attempt {attempt}")
+
+        with pytest.raises(TransientError, match="attempt 2"):
+            call_with_retry(always, sleep=lambda s: None)
+
+    def test_injected_faults_are_transient(self):
+        def flaky(attempt):
+            if attempt == 0:
+                raise FaultInjectionError("injected")
+            return "recovered"
+
+        assert call_with_retry(flaky, sleep=lambda s: None) == "recovered"
+
+    def test_non_transient_propagates_immediately(self):
+        calls = []
+
+        def broken(attempt):
+            calls.append(attempt)
+            raise ValueError("a bug, not weather")
+
+        with pytest.raises(ValueError):
+            call_with_retry(broken, sleep=lambda s: None)
+        assert calls == [0]
+
+    def test_on_retry_counts_every_failed_attempt(self):
+        seen = []
+
+        def flaky(attempt):
+            if attempt < 3:
+                raise TransientError("again")
+            return attempt
+
+        policy = RetryPolicy(max_attempts=5)
+        call_with_retry(flaky, policy=policy, sleep=lambda s: None,
+                        on_retry=lambda attempt, exc: seen.append(attempt))
+        assert seen == [0, 1, 2]
+
+    def test_custom_retry_on(self):
+        def flaky(attempt):
+            if attempt == 0:
+                raise KeyError("odd but retryable here")
+            return "ok"
+
+        result = call_with_retry(flaky, sleep=lambda s: None,
+                                 retry_on=(KeyError,))
+        assert result == "ok"

@@ -68,6 +68,36 @@ class TestModule:
         with pytest.raises(ShapeError):
             a.load_state_dict(state)
 
+    def test_state_dict_includes_buffers(self):
+        bn = BatchNorm1d(2, momentum=0.5)
+        bn(Tensor(np.full((8, 2), 10.0)))
+        state = bn.state_dict()
+        assert np.allclose(state["running_mean"], 5.0)
+
+        fresh = BatchNorm1d(2)
+        fresh.load_state_dict(state)
+        assert np.allclose(fresh.running_mean, 5.0)
+        assert np.array_equal(fresh.running_var, bn.running_var)
+
+    def test_state_dict_missing_buffer_key(self):
+        bn = BatchNorm1d(2)
+        state = bn.state_dict()
+        del state["running_var"]
+        with pytest.raises(KeyError, match="running_var"):
+            bn.load_state_dict(state)
+
+    def test_state_dict_buffer_shape_mismatch(self):
+        bn = BatchNorm1d(2)
+        state = bn.state_dict()
+        state["running_mean"] = np.zeros(3)
+        with pytest.raises(ShapeError):
+            bn.load_state_dict(state)
+
+    def test_buffer_reassignment_stays_registered(self):
+        bn = BatchNorm1d(2, momentum=0.5)
+        bn(Tensor(np.full((4, 2), 10.0)))  # forward reassigns the buffers
+        assert np.allclose(dict(bn.named_buffers())["running_mean"], 5.0)
+
 
 class TestLinear:
     def test_shapes(self):

@@ -34,7 +34,9 @@ class TestCheckpoint:
         fresh.eval()
         after = fresh(batch, rt).data
         assert np.allclose(before, after)
-        assert meta == {"epoch": 3, "metric": 0.5}
+        assert meta["epoch"] == 3
+        assert meta["metric"] == 0.5
+        assert meta["extra"] == {}
 
     def test_optimizer_roundtrip(self, setting, tmp_path):
         ds, model, batch = setting

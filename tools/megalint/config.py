@@ -28,7 +28,7 @@ class LintConfig:
 
     #: MEGA001: module prefixes forming the low layers...
     low_layers: List[str] = field(default_factory=lambda: [
-        "repro.core", "repro.graph", "repro.tensor"])
+        "repro.core", "repro.graph", "repro.tensor", "repro.resilience"])
     #: ...which must never import these high layers.
     high_layers: List[str] = field(default_factory=lambda: [
         "repro.models", "repro.train", "repro.pipeline",
@@ -37,7 +37,8 @@ class LintConfig:
     #: MEGA002: modules whose ordered outputs feed schedule/cache keys,
     #: so set-iteration-order must never leak into them.
     determinism_modules: List[str] = field(default_factory=lambda: [
-        "repro.core", "repro.graph", "repro.pipeline"])
+        "repro.core", "repro.graph", "repro.pipeline",
+        "repro.resilience"])
 
     #: MEGA003: modules declared as vectorised kernels.
     kernel_modules: List[str] = field(default_factory=lambda: [

@@ -16,4 +16,5 @@ from tools.megalint.rules import (  # noqa: F401
     docstrings,
     public_api,
     io_hygiene,
+    retry_bounds,
 )

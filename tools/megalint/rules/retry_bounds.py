@@ -1,0 +1,76 @@
+"""MEGA010 — no unbounded retry loops.
+
+The resilience layer's contract is *bounded* recovery: every retry
+loop must give up after a fixed number of attempts
+(:class:`repro.resilience.RetryPolicy` exists precisely for this).  A
+``while True`` loop whose ``except`` handler just ``continue``\\ s never
+gives up — a persistent fault (bad disk, poisoned input, dead peer)
+turns it into a busy-wait that hangs the pipeline forever instead of
+failing loudly.
+
+Flagged: a constant-true ``while`` loop containing an ``except``
+handler that reaches ``continue`` with no ``raise`` or ``break``
+anywhere in the handler — i.e. no path that ever stops retrying.
+Handlers that re-raise after an attempt bound (``if n >= 3: raise``)
+or break out are clean, as are counted ``for``-loops
+(:func:`repro.resilience.call_with_retry`'s shape).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.megalint.registry import Rule, register
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _own_statements(body) -> Iterator[ast.stmt]:
+    """Statements belonging to this block's control flow.
+
+    Descends into ``if``/``with``/``try`` but not into nested loops
+    (whose ``continue``/``break`` bind to the inner loop) or nested
+    function definitions.
+    """
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.For, ast.While, ast.AsyncFor,
+                             ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for attr in ("body", "orelse", "finalbody"):
+            yield from _own_statements(getattr(stmt, attr, []))
+        for handler in getattr(stmt, "handlers", []):
+            yield from _own_statements(handler.body)
+
+
+def _handler_retries_forever(handler: ast.ExceptHandler) -> bool:
+    stmts = list(_own_statements(handler.body))
+    retries = any(isinstance(s, ast.Continue) for s in stmts)
+    gives_up = any(isinstance(s, (ast.Raise, ast.Break, ast.Return))
+                   for s in stmts)
+    return retries and not gives_up
+
+
+@register
+class UnboundedRetryRule(Rule):
+    id = "MEGA010"
+    name = "unbounded-retry"
+    rationale = ("'while True' + 'except: continue' retries forever; "
+                 "bound attempts (see repro.resilience.RetryPolicy)")
+
+    def visit_While(self, node: ast.While, ctx) -> None:
+        if not _is_constant_true(node.test):
+            return
+        for stmt in _own_statements(node.body):
+            if not isinstance(stmt, ast.Try):
+                continue
+            for handler in stmt.handlers:
+                if _handler_retries_forever(handler):
+                    ctx.report(self, handler,
+                               "unbounded retry: 'while True' handler "
+                               "continues on every failure with no "
+                               "raise/break — bound the attempts "
+                               "(repro.resilience.call_with_retry)")
