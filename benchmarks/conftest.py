@@ -34,6 +34,21 @@ def bench_scale():
     return 0.02
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_workload_caches():
+    """Start and end the benchmark session with empty workload memos.
+
+    The memos in :mod:`repro.profiling.workload` are FIFO-bounded, but a
+    benchmark session should neither inherit entries from an earlier
+    in-process run nor leave datasets pinned in memory afterwards.
+    """
+    from repro.profiling import clear_caches
+
+    clear_caches()
+    yield
+    clear_caches()
+
+
 _PROFILE_CACHE = {}
 
 # Scale giving each dataset enough training graphs for the largest batch.

@@ -11,6 +11,8 @@ Top-level convenience re-exports.  Sub-packages:
 - :mod:`repro.models`  — GatedGCN and Graph Transformer (baseline + MEGA)
 - :mod:`repro.train`   — training loops with simulated wall clock
 - :mod:`repro.distributed` — partitioning and communication analysis
+- :mod:`repro.serve`   — deterministic inference serving: bounded
+  admission, dynamic micro-batching, schedule-cache reuse, SLO metrics
 """
 
 __version__ = "1.0.0"
@@ -21,8 +23,10 @@ from repro.errors import (
     DivergenceError,
     FaultInjectionError,
     GraphError,
+    QueueFullError,
     ReproError,
     ScheduleError,
+    ServeError,
     ShapeError,
     SimulationError,
     TransientError,
@@ -40,4 +44,6 @@ __all__ = [
     "TransientError",
     "FaultInjectionError",
     "DivergenceError",
+    "ServeError",
+    "QueueFullError",
 ]

@@ -7,16 +7,24 @@ preprocess  Build MEGA schedules for a dataset and save them to .npz.
 profile     nvprof-style kernel profile of one configuration.
 train       Train a model under a schedule; prints per-epoch history.
 compare     Baseline-vs-MEGA epoch time and convergence summary.
+serve       Serve a dataset's test split through the inference server.
+loadtest    Seeded Poisson/bursty load test; prints SLO metrics.
+
+Exit codes: 0 on success, 2 on any :class:`~repro.errors.ReproError`
+(printed as a one-line message, never a traceback).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
 import numpy as np
+
+from repro.errors import ReproError
 
 DATASETS = ["ZINC", "AQSOL", "CSL", "CYCLES"]
 MODELS = ["GCN", "GT", "GAT"]
@@ -189,9 +197,136 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="GT", choices=MODELS)
+    parser.add_argument("--hidden-dim", type=int, default=64)
+    parser.add_argument("--layers", type=int, default=4)
+    parser.add_argument("--checkpoint", default=None,
+                        help="serve weights from this train checkpoint "
+                             "(.npz); default: fresh initialisation")
+    parser.add_argument("--capacity", type=int, default=32,
+                        help="admission queue bound (backpressure)")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="micro-batch size cap")
+    parser.add_argument("--max-wait", type=float, default=0.02,
+                        help="simulated seconds an under-full bucket "
+                             "may wait before flushing")
+    parser.add_argument("--bucket-width", type=int, default=16,
+                        help="path-length bucket granularity")
+    parser.add_argument("--cache-dir", default=None,
+                        help="schedule cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/schedules)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent schedule cache")
+    parser.add_argument("--json", action="store_true",
+                        help="print full ServerStats as JSON")
+
+
+def _build_server(args: argparse.Namespace):
+    """(LoadedModel, InferenceServer) from parsed serve/loadtest args."""
+    from repro.pipeline import ScheduleCache
+    from repro.serve import (
+        BatchingPolicy,
+        InferenceServer,
+        ModelRegistry,
+        ModelSpec,
+        ServerConfig,
+    )
+
+    registry = ModelRegistry()
+    registry.register("cli", ModelSpec(
+        model=args.model, dataset=args.dataset, scale=args.scale,
+        hidden_dim=args.hidden_dim, num_layers=args.layers,
+        checkpoint=args.checkpoint))
+    loaded = registry.load("cli")
+    cache_dir = _resolve_cache_dir(args)
+    cache = ScheduleCache(cache_dir) if cache_dir is not None else None
+    server = InferenceServer(
+        loaded.model, cache=cache,
+        config=ServerConfig(
+            queue_capacity=args.capacity,
+            policy=BatchingPolicy(max_batch_size=args.max_batch,
+                                  max_wait_s=args.max_wait,
+                                  bucket_width=args.bucket_width)))
+    return loaded, server
+
+
+def _print_serve_report(stats, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(stats.as_dict(), sort_keys=True, indent=2))
+        return
+    print(stats.summary_line())
+    print(f"  p50/p95/p99 latency: {stats.p50_latency_s * 1e3:.3f} / "
+          f"{stats.p95_latency_s * 1e3:.3f} / "
+          f"{stats.p99_latency_s * 1e3:.3f} ms")
+    print(f"  throughput: {stats.throughput_rps:.1f} req/s over "
+          f"{stats.sim_duration_s:.4f} simulated s")
+    print(f"  queue depth: mean {stats.mean_queue_depth:.2f}, "
+          f"max {stats.max_queue_depth}")
+    print(f"  batches: {len(stats.batches)}, occupancy "
+          f"{stats.mean_batch_occupancy:.2f}, padding waste "
+          f"{stats.mean_padding_waste:.3f}")
+    print(f"  schedule cache: {stats.cache.hits} hits / "
+          f"{stats.cache.misses} misses "
+          f"(hit rate {stats.schedule_hit_rate:.2f})")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import InferenceRequest
+
+    loaded, server = _build_server(args)
+    pool = loaded.dataset.test[:args.requests]
+    if not pool:
+        pool = loaded.dataset.test
+    gap = 1.0 / args.rate
+    requests = [InferenceRequest(request_id=i, graph=pool[i % len(pool)],
+                                 submitted_s=(i + 1) * gap)
+                for i in range(args.requests)]
+    result = server.run(requests)
+    print(f"served {loaded.spec.model} on {loaded.spec.dataset} "
+          f"(epoch {loaded.epoch} checkpoint)"
+          if loaded.spec.checkpoint else
+          f"served {loaded.spec.model} on {loaded.spec.dataset} "
+          f"(fresh weights)")
+    for resp in result.responses[:args.show]:
+        value = np.asarray(resp.prediction).ravel()
+        shown = (f"{value[0]:.4f}" if value.size == 1
+                 else f"argmax {int(value.argmax())}")
+        print(f"  request {resp.request_id}: {shown}  "
+              f"latency {resp.latency_s * 1e3:.3f} ms  "
+              f"batch {resp.batch_id}")
+    _print_serve_report(result.stats, args.json)
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.resilience import RetryPolicy
+    from repro.serve import ArrivalProcess, generate_requests
+
+    loaded, server = _build_server(args)
+    pool = loaded.dataset.test[:args.pool]
+    process = ArrivalProcess(kind=args.process, rate_rps=args.rate,
+                             seed=args.seed,
+                             burst_factor=args.burst_factor,
+                             burst_len=args.burst_len)
+    requests = generate_requests(pool, args.requests, process)
+    retry = (RetryPolicy(max_attempts=args.retries)
+             if args.retries > 0 else None)
+    result = server.run(requests, retry_policy=retry)
+    if not args.json:
+        print(f"loadtest: {args.requests} requests, {args.process} "
+              f"arrivals at {args.rate:.0f} req/s (seed {args.seed}), "
+              f"pool of {len(pool)} graphs")
+    _print_serve_report(result.stats, args.json)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description=__doc__.splitlines()[0])
+    from repro import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("stats", help="print Tables I-III")
@@ -243,13 +378,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=8)
     p.add_argument("--lr", type=float, default=3e-3)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("serve",
+                       help="serve the test split through the "
+                            "inference server")
+    _add_dataset_args(p)
+    _add_serve_args(p)
+    p.add_argument("--requests", type=int, default=32,
+                   help="how many requests to serve")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="uniform arrival rate (requests per simulated s)")
+    p.add_argument("--show", type=int, default=5,
+                   help="print the first N predictions")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("loadtest",
+                       help="seeded load test; prints SLO metrics")
+    _add_dataset_args(p)
+    _add_serve_args(p)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--rate", type=float, default=400.0,
+                   help="mean arrival rate (requests per simulated s)")
+    p.add_argument("--process", default="poisson",
+                   choices=["poisson", "bursty"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pool", type=int, default=16,
+                   help="distinct graphs in the request pool")
+    p.add_argument("--burst-factor", type=float, default=6.0)
+    p.add_argument("--burst-len", type=int, default=16)
+    p.add_argument("--retries", type=int, default=3,
+                   help="client retry attempts on rejection "
+                        "(0 = drop immediately)")
+    p.set_defaults(func=cmd_loadtest)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Library failures are user errors or environment problems, not
+        # crashes: one line on stderr and a stable exit code, so shell
+        # scripts can branch on it (0 = ok, 2 = ReproError).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

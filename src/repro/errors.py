@@ -44,3 +44,21 @@ class FaultInjectionError(TransientError):
 
 class DivergenceError(ReproError):
     """Training produced a non-finite loss and no checkpoint could absorb it."""
+
+
+class ServeError(ReproError):
+    """Raised by the inference-serving subsystem on invalid state or specs."""
+
+
+class QueueFullError(ServeError):
+    """Admission rejected because the request queue is at capacity.
+
+    Carries ``retry_after_s``, the server's deterministic hint for when
+    capacity is expected to free; clients feed it into a
+    :class:`repro.resilience.RetryPolicy` backoff instead of hammering
+    the queue.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

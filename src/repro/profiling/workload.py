@@ -9,7 +9,6 @@ configurations over the same graphs.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -25,15 +24,39 @@ from repro.memsim.profiler import Profiler
 from repro.models.kernel_plans import simulate_batch
 from repro.models.runtime import BaselineRuntime, MegaRuntime
 
+#: Memo bound: a benchmark sweep touches a handful of (dataset, scale)
+#: pairs and a few dozen path configurations; anything past this is a
+#: leak, not a working set.  Python dicts iterate in insertion order, so
+#: popping the first key on overflow is FIFO eviction.
+MAX_CACHE_ENTRIES = 32
+
 _DATASET_CACHE: Dict[Tuple[str, float], object] = {}
 _PATH_CACHE: Dict[Tuple[str, float, int], List[PathRepresentation]] = {}
+
+
+def _bounded_put(cache: Dict, key, value) -> None:
+    """Insert with FIFO eviction at :data:`MAX_CACHE_ENTRIES`."""
+    if key not in cache and len(cache) >= MAX_CACHE_ENTRIES:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def clear_caches() -> None:
+    """Drop both memo caches (benchmark conftest calls this per session)."""
+    _DATASET_CACHE.clear()
+    _PATH_CACHE.clear()
+
+
+def cache_sizes() -> Tuple[int, int]:
+    """Current (dataset, path) memo entry counts, for tests."""
+    return len(_DATASET_CACHE), len(_PATH_CACHE)
 
 
 def cached_dataset(name: str, scale: float = 0.02):
     """Load (and memoise) a dataset at benchmark scale."""
     key = (name.upper(), scale)
     if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = load_dataset(name, scale=scale)
+        _bounded_put(_DATASET_CACHE, key, load_dataset(name, scale=scale))
     return _DATASET_CACHE[key]
 
 
@@ -49,8 +72,9 @@ def cached_paths(name: str, scale: float, count: int,
         if len(graphs) < count:
             raise SimulationError(
                 f"{name} at scale {scale} has only {len(graphs)} train graphs")
-        _PATH_CACHE[key] = [PathRepresentation.from_graph(g, config)
-                            for g in graphs]
+        _bounded_put(_PATH_CACHE, key,
+                     [PathRepresentation.from_graph(g, config)
+                      for g in graphs])
     return _PATH_CACHE[key]
 
 

@@ -1,0 +1,126 @@
+"""Request types and the bounded admission queue.
+
+Backpressure contract: the queue holds at most ``capacity`` requests.
+An admission attempt against a full queue raises
+:class:`~repro.errors.QueueFullError` carrying a deterministic
+``retry_after_s`` hint (the server's estimate of when a slot frees);
+well-behaved clients — the load generator, via
+:class:`repro.resilience.RetryPolicy` — re-submit after that delay
+instead of spinning.  The queue never silently sheds load: every
+rejection is observable in :class:`~repro.serve.stats.ServerStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.path import PathRepresentation
+from repro.errors import ConfigError, QueueFullError
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One prediction request: a graph and the client's identifiers.
+
+    ``attempt`` counts admission attempts (0 on first submission); the
+    retry loop increments it on each re-submission so fault injection
+    and stats can key on it.
+    """
+
+    request_id: int
+    graph: Graph
+    submitted_s: float = 0.0
+    attempt: int = 0
+
+    def retry(self, at_s: float) -> "InferenceRequest":
+        """The re-submission of this request at simulated time ``at_s``."""
+        return InferenceRequest(request_id=self.request_id,
+                                graph=self.graph,
+                                submitted_s=at_s,
+                                attempt=self.attempt + 1)
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """A request after admission: schedule attached, awaiting a batch.
+
+    ``path`` is the MEGA path representation resolved at admission time
+    (from the schedule cache when the graph was seen before);
+    ``schedule_hit`` records whether that lookup was a cache hit.
+    """
+
+    request: InferenceRequest
+    admitted_s: float
+    path: PathRepresentation
+    schedule_hit: bool
+
+    @property
+    def length(self) -> int:
+        """Path length — the batcher's bucketing key."""
+        return int(self.path.length)
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """A completed request: prediction plus latency provenance."""
+
+    request_id: int
+    prediction: np.ndarray
+    submitted_s: float
+    completed_s: float
+    batch_id: int
+    schedule_hit: bool
+
+    @property
+    def latency_s(self) -> float:
+        """Simulated submission-to-completion latency."""
+        return self.completed_s - self.submitted_s
+
+
+class BoundedRequestQueue:
+    """FIFO admission queue with a hard capacity and depth accounting."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: List[QueuedRequest] = []
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def depth(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def entries(self) -> Tuple[QueuedRequest, ...]:
+        """Current queue contents in admission order (read-only view)."""
+        return tuple(self._entries)
+
+    def admit(self, entry: QueuedRequest,
+              retry_after_s: float = 0.0) -> None:
+        """Append ``entry`` or raise :class:`QueueFullError` with the hint."""
+        if self.full:
+            raise QueueFullError(
+                f"queue at capacity ({self.capacity}); retry after "
+                f"{retry_after_s:.4f}s", retry_after_s=retry_after_s)
+        self._entries.append(entry)
+        self.max_depth = max(self.max_depth, len(self._entries))
+
+    def remove(self, batch: Sequence[QueuedRequest]) -> None:
+        """Dequeue the entries a launched batch consumed."""
+        taken = {id(e) for e in batch}
+        kept = [e for e in self._entries if id(e) not in taken]
+        if len(kept) != len(self._entries) - len(batch):
+            raise ConfigError(
+                "batch contains entries that are not queued")
+        self._entries = kept

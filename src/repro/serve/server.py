@@ -1,0 +1,305 @@
+"""The inference server: a deterministic event loop in simulated time.
+
+Request lifecycle (``docs/serving.md`` has the full walkthrough)::
+
+    submit -> admit (bounded queue) -> micro-batch -> execute -> respond
+                |                                        |
+                +-- reject + retry-after (queue full)    +-- SLO stats
+
+Three design rules keep every run replayable:
+
+* **Simulated time only.**  The loop runs on an injectable
+  :class:`repro.train.clock.SimulatedClock`; execution cost comes from
+  the analytic kernel simulator (:func:`repro.models.kernel_plans
+  .simulate_batch`) on the actual :class:`~repro.models.runtime
+  .MegaRuntime` of each batch.  Wall-clock never touches the stats.
+* **Schedules resolve at admission, through the PR-1 cache.**  Each
+  admitted graph is looked up in the :class:`~repro.pipeline.cache
+  .ScheduleCache` by content key; repeat graphs skip Algorithm 1
+  entirely and the hit is visible in both the serve-local counters and
+  the pipeline cache's own.
+* **Backpressure is explicit.**  A full queue rejects with a
+  deterministic retry-after hint; the client side re-submits under a
+  :class:`repro.resilience.RetryPolicy` and gives up loudly (counted as
+  ``dropped``) when the policy is exhausted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import MegaConfig
+from repro.core.path import PathRepresentation
+from repro.graph.batch import GraphBatch
+from repro.graph.graph import Graph
+from repro.memsim.device import DeviceSpec, GPUDevice, GTX_1080
+from repro.models.base import GNNModel
+from repro.models.kernel_plans import simulate_batch
+from repro.models.runtime import MegaRuntime
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.hashing import schedule_cache_key
+from repro.pipeline.parallel import compute_schedule, materialise
+from repro.pipeline.stats import CacheStats
+from repro.resilience import RetryPolicy
+from repro.serve.batcher import BatchingPolicy, BatchPlan, MicroBatcher
+from repro.serve.queueing import (
+    BoundedRequestQueue,
+    InferenceRequest,
+    InferenceResponse,
+    QueuedRequest,
+)
+from repro.serve.stats import BatchRecord, ServerStats
+from repro.errors import QueueFullError, ServeError
+from repro.train.clock import SimulatedClock
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving knobs independent of the model being served.
+
+    Attributes
+    ----------
+    queue_capacity:
+        Bound of the admission queue (backpressure threshold).
+    policy:
+        Micro-batching policy (size, wait, bucket width).
+    miss_penalty_s:
+        Simulated seconds added to a batch's service time per member
+        whose schedule was *not* served from the cache — makes the
+        preprocessing cost of cold graphs visible in latency.
+    retry_after_default_s:
+        Retry-after hint before any batch has executed (afterwards the
+        hint is the last batch's service time).
+    """
+
+    queue_capacity: int = 32
+    policy: BatchingPolicy = field(default_factory=BatchingPolicy)
+    miss_penalty_s: float = 0.0
+    retry_after_default_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ServeError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.miss_penalty_s < 0.0 or self.retry_after_default_s < 0.0:
+            raise ServeError(
+                "miss_penalty_s and retry_after_default_s must be >= 0")
+
+
+class ScheduleStore:
+    """Admission-time schedule resolution with serve-local counters.
+
+    Backed by a :class:`ScheduleCache` when one is attached (hits also
+    move the pipeline cache's own counters — the observable
+    double-entry bookkeeping the acceptance tests assert); falls back
+    to an in-process memo otherwise, so the server never needs a disk
+    directory just to deduplicate repeat graphs within a run.
+    """
+
+    def __init__(self, config: MegaConfig,
+                 cache: Optional[ScheduleCache] = None):
+        self.config = config
+        self.cache = cache
+        self.stats = CacheStats()
+        self._memo: Dict[str, Tuple] = {}
+
+    def resolve(self, graph: Graph) -> Tuple[PathRepresentation, bool]:
+        """Path representation for ``graph``; True when cache-served."""
+        key = schedule_cache_key(graph, self.config)
+        if self.cache is not None:
+            entry = self.cache.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                return materialise(graph, self.config, entry[0]), True
+            entry = compute_schedule(graph, self.config)
+            self.cache.put(key, *entry)
+            self.stats.misses += 1
+            self.stats.puts += 1
+            return materialise(graph, self.config, entry[0]), False
+        entry = self._memo.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            return materialise(graph, self.config, entry[0]), True
+        entry = compute_schedule(graph, self.config)
+        self._memo[key] = entry
+        self.stats.misses += 1
+        self.stats.puts += 1
+        return materialise(graph, self.config, entry[0]), False
+
+
+@dataclass
+class ServeResult:
+    """Everything one :meth:`InferenceServer.run` call produced."""
+
+    responses: List[InferenceResponse]
+    stats: ServerStats
+
+    def response_for(self, request_id: int) -> InferenceResponse:
+        for resp in self.responses:
+            if resp.request_id == request_id:
+                return resp
+        raise ServeError(f"no response for request {request_id} "
+                         "(rejected and dropped, or never submitted)")
+
+
+class InferenceServer:
+    """Single-executor inference server over one loaded model."""
+
+    def __init__(self, model: GNNModel,
+                 mega_config: Optional[MegaConfig] = None,
+                 cache: Optional[ScheduleCache] = None,
+                 clock: Optional[SimulatedClock] = None,
+                 config: Optional[ServerConfig] = None,
+                 device_spec: DeviceSpec = GTX_1080):
+        self.model = model
+        self.model.eval()
+        self.mega_config = mega_config or MegaConfig()
+        self.config = config or ServerConfig()
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.device_spec = device_spec
+        self.store = ScheduleStore(self.mega_config, cache=cache)
+        self.batcher = MicroBatcher(self.config.policy)
+
+    # ------------------------------------------------------------------
+    def _retry_after(self, stats: ServerStats) -> float:
+        """Deterministic hint: the last batch's service time."""
+        if stats.batches:
+            return stats.batches[-1].service_s
+        return self.config.retry_after_default_s
+
+    def _execute(self, plan: BatchPlan, now_s: float,
+                 stats: ServerStats) -> Tuple[float, List[InferenceResponse]]:
+        """Run one micro-batch; returns (completion time, responses)."""
+        batch = GraphBatch([e.request.graph for e in plan.entries])
+        runtime = MegaRuntime(batch, [e.path for e in plan.entries])
+        predictions = np.asarray(self.model(batch, runtime).data)
+        profiler = simulate_batch(
+            self.model.model_name, runtime, GPUDevice(self.device_spec),
+            self.model.config.hidden_dim, self.model.config.num_layers)
+        service_s = (profiler.total_time
+                     + self.config.miss_penalty_s * plan.schedule_misses)
+        batch_id = len(stats.batches)
+        stats.batches.append(BatchRecord(
+            batch_id=batch_id, launch_s=now_s, service_s=service_s,
+            size=plan.size, bucket=plan.bucket,
+            max_length=plan.max_length, padding_waste=plan.waste,
+            occupancy=plan.size / self.config.policy.max_batch_size,
+            schedule_misses=plan.schedule_misses))
+        done_s = now_s + service_s
+        responses = [InferenceResponse(
+            request_id=e.request.request_id,
+            prediction=np.array(predictions[i], copy=True),
+            submitted_s=e.request.submitted_s, completed_s=done_s,
+            batch_id=batch_id, schedule_hit=e.schedule_hit)
+            for i, e in enumerate(plan.entries)]
+        return done_s, responses
+
+    # ------------------------------------------------------------------
+    def run(self, requests: List[InferenceRequest],
+            retry_policy: Optional[RetryPolicy] = None) -> ServeResult:
+        """Serve a request stream to completion; returns the result.
+
+        ``retry_policy`` drives the *client side*: a rejected request is
+        re-submitted after ``max(retry_after hint, policy backoff)``
+        until the policy's attempt budget is spent, then counted as
+        dropped.  ``None`` drops rejected requests immediately.
+        """
+        stats = ServerStats()
+        stats.received = len(requests)
+        cache_before = self.store.stats.as_dict()
+        queue = BoundedRequestQueue(self.config.queue_capacity)
+        responses: List[InferenceResponse] = []
+
+        # (time, tiebreak_seq, kind, payload); kinds: "arrive", "done".
+        events: List[Tuple[float, int, str, object]] = []
+        seq = 0
+        arrivals_pending = 0
+        for request in requests:
+            heapq.heappush(events,
+                           (request.submitted_s, seq, "arrive", request))
+            seq += 1
+            arrivals_pending += 1
+        busy = False
+
+        def admit(request: InferenceRequest, now_s: float) -> None:
+            nonlocal seq, arrivals_pending
+            stats.attempts += 1
+            stats.queue_depth_sum += queue.depth
+            stats.queue_depth_samples += 1
+            try:
+                if queue.full:
+                    raise QueueFullError(
+                        f"queue at capacity ({queue.capacity})",
+                        retry_after_s=self._retry_after(stats))
+                path, hit = self.store.resolve(request.graph)
+                queue.admit(QueuedRequest(request=request, admitted_s=now_s,
+                                          path=path, schedule_hit=hit))
+                stats.admitted += 1
+            except QueueFullError as exc:
+                stats.rejected += 1
+                if (retry_policy is not None
+                        and request.attempt + 1 < retry_policy.max_attempts):
+                    delay = max(exc.retry_after_s,
+                                retry_policy.delay(request.attempt))
+                    retried = request.retry(now_s + delay)
+                    heapq.heappush(
+                        events,
+                        (retried.submitted_s, seq, "arrive", retried))
+                    seq += 1
+                    stats.retried += 1
+                    # A retried request re-enters the arrival stream.
+                    arrivals_pending += 1
+                else:
+                    stats.dropped += 1
+
+        while events or queue.depth > 0:
+            now_s = self.clock.now()
+            if not busy and queue.depth > 0:
+                plan = self.batcher.select(queue.entries(), now_s,
+                                           draining=arrivals_pending == 0)
+                if plan is not None:
+                    queue.remove(plan.entries)
+                    done_s, batch_responses = self._execute(plan, now_s,
+                                                            stats)
+                    heapq.heappush(events,
+                                   (done_s, seq, "done", batch_responses))
+                    seq += 1
+                    busy = True
+                    continue
+                deadline = self.batcher.next_deadline(queue.entries())
+                next_event_s = events[0][0] if events else None
+                if next_event_s is None or (deadline is not None
+                                            and deadline <= next_event_s):
+                    if deadline <= now_s:
+                        # A reached deadline must have made its bucket
+                        # ripe; anything else would spin forever.
+                        raise ServeError(
+                            "batcher refused to flush at its own deadline")
+                    self.clock.advance_to(deadline)
+                    continue
+            if not events:
+                raise ServeError(
+                    "event loop stalled: queued requests but no events")
+            t_s, _, kind, payload = heapq.heappop(events)
+            self.clock.advance_to(t_s)
+            if kind == "arrive":
+                arrivals_pending -= 1
+                admit(payload, self.clock.now())
+            else:
+                busy = False
+                for response in payload:
+                    responses.append(response)
+                    stats.served += 1
+                    stats.latencies_s.append(response.latency_s)
+                stats.sim_duration_s = max(stats.sim_duration_s,
+                                           self.clock.now())
+
+        stats.max_queue_depth = queue.max_depth
+        after = self.store.stats.as_dict()
+        stats.cache = CacheStats(**{k: after[k] - cache_before[k]
+                                    for k in after})
+        return ServeResult(responses=responses, stats=stats)

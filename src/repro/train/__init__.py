@@ -1,7 +1,7 @@
 """Training harness: numerics on the numpy engine, time on the GPU model."""
 
 from repro.train.checkpoint import EarlyStopping, load_checkpoint, save_checkpoint
-from repro.train.clock import EpochCost, EpochCostModel
+from repro.train.clock import EpochCost, EpochCostModel, SimulatedClock
 from repro.train.convergence import ConvergenceResult, run_convergence
 from repro.train.metrics import (
     EpochRecord,
@@ -17,6 +17,7 @@ __all__ = [
     "load_checkpoint",
     "EpochCost",
     "EpochCostModel",
+    "SimulatedClock",
     "EpochRecord",
     "History",
     "speedup_to_target",

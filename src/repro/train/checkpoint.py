@@ -24,7 +24,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.core.atomic_io import atomic_write_bytes
-from repro.errors import CheckpointError, ConfigError
+from repro.errors import CheckpointError, ConfigError, ShapeError
 from repro.models.base import GNNModel
 from repro.tensor.optim import Adam
 
@@ -90,6 +90,10 @@ def load_checkpoint(path: Union[str, Path], model: GNNModel,
             raise CheckpointError(
                 f"checkpoint {path} does not match the model: "
                 f"missing parameter {exc.args[0]}") from exc
+        except ShapeError as exc:
+            raise CheckpointError(
+                f"checkpoint {path} does not match the model: "
+                f"{exc}") from exc
         if optimizer is not None:
             if "meta/opt_step" not in names:
                 raise CheckpointError(

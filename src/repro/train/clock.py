@@ -5,6 +5,10 @@ is irrelevant to the paper's claims) and charge *simulated* GPU time
 from the kernel plans.  An :class:`EpochCostModel` simulates a few
 representative batches once and reuses the mean batch time — valid
 because the kernel mix of an epoch is composition-stationary.
+
+:class:`SimulatedClock` is the injectable time source those simulated
+seconds flow through; the serving event loop reuses it so load tests
+replay in deterministic simulated time instead of wall time.
 """
 
 from __future__ import annotations
@@ -23,6 +27,44 @@ from repro.memsim.device import DeviceSpec, GPUDevice, GTX_1080
 from repro.memsim.profiler import Profiler
 from repro.models.kernel_plans import BACKWARD_FACTOR, simulate_batch
 from repro.models.runtime import BaselineRuntime, MegaRuntime
+
+
+class SimulatedClock:
+    """Injectable monotone clock for deterministic event loops.
+
+    Training charges simulated seconds per epoch; the serving event
+    loop (:mod:`repro.serve.server`) needs the same simulated-time
+    discipline at sub-batch granularity.  The clock only ever moves
+    forward: ``advance_to`` with a timestamp in the past is a no-op, so
+    callers can re-announce deadlines without rewinding history.
+
+    Tests inject their own instance (or a subclass) to start at an
+    offset or to record every advance.
+    """
+
+    def __init__(self, start_s: float = 0.0):
+        if not np.isfinite(start_s):
+            raise SimulationError(f"clock start must be finite, got {start_s}")
+        self._now_s = float(start_s)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_s
+
+    def advance(self, dt_s: float) -> float:
+        """Move forward by ``dt_s`` seconds; returns the new time."""
+        if not np.isfinite(dt_s) or dt_s < 0.0:
+            raise SimulationError(
+                f"clock can only advance by a finite dt >= 0, got {dt_s}")
+        self._now_s += float(dt_s)
+        return self._now_s
+
+    def advance_to(self, t_s: float) -> float:
+        """Move forward to ``t_s`` (no-op when already past it)."""
+        if not np.isfinite(t_s):
+            raise SimulationError(f"clock target must be finite, got {t_s}")
+        self._now_s = max(self._now_s, float(t_s))
+        return self._now_s
 
 
 @dataclass

@@ -68,6 +68,48 @@ class TestBucketing:
             random_batches(5, -1)
 
 
+class TestBatchingEdgeCases:
+    """Boundary behaviour the serving micro-batcher leans on."""
+
+    def test_empty_request_set(self):
+        assert bucket_by_length([], 4) == []
+        assert random_batches(0, 4) == []
+        assert batch_padding_waste([]) == 0.0
+
+    def test_single_oversized_path(self, rng):
+        # One path far longer than the rest: sorting pushes it into the
+        # final batch so it only pads its own batch, not every batch.
+        reps = [PathRepresentation.from_graph(ring_graph(8))
+                for _ in range(7)]
+        reps.append(PathRepresentation.from_graph(ring_graph(120)))
+        batches = bucket_by_length(reps, 4)
+        assert batches[-1][-1] == 7            # the giant sorts last
+        lengths = [reps[i].length for i in batches[0]]
+        assert padding_waste(lengths) == 0.0   # short batch unpolluted
+        # A singleton batch pads to itself: zero waste by definition.
+        assert padding_waste([reps[7].length]) == 0.0
+
+    def test_all_equal_lengths_zero_waste(self):
+        reps = [PathRepresentation.from_graph(ring_graph(10))
+                for _ in range(9)]
+        groups = [[reps[i].length for i in batch]
+                  for batch in bucket_by_length(reps, 4)]
+        assert batch_padding_waste(groups) == 0.0
+        for group in groups:
+            assert padding_waste(group) == 0.0
+
+    def test_bucket_boundary_lengths(self):
+        # Counts straddling an exact batch-size multiple: a full final
+        # batch vs a remainder singleton, with no index dropped.
+        for count in (8, 9):
+            reps = [PathRepresentation.from_graph(ring_graph(6 + i))
+                    for i in range(count)]
+            batches = bucket_by_length(reps, 4)
+            assert [len(b) for b in batches] == (
+                [4, 4] if count == 8 else [4, 4, 1])
+            assert sorted(i for b in batches for i in b) == list(range(count))
+
+
 class TestViz:
     def test_adjacency_dimensions(self, ring12):
         art = viz.render_adjacency(ring12)

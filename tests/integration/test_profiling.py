@@ -4,9 +4,12 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.profiling import (
+    MAX_CACHE_ENTRIES,
     attention_time_ratio,
+    cache_sizes,
     cached_dataset,
     cached_paths,
+    clear_caches,
     profile_configuration,
 )
 
@@ -25,6 +28,23 @@ class TestCaches:
         b = cached_paths("ZINC", SCALE, 8)
         assert a is b
         assert len(a) == 8
+
+    def test_clear_caches_empties_both(self):
+        cached_paths("ZINC", SCALE, 4)
+        assert cache_sizes() > (0, 0)
+        clear_caches()
+        assert cache_sizes() == (0, 0)
+
+    def test_path_cache_fifo_bounded(self):
+        clear_caches()
+        first = cached_paths("ZINC", SCALE, 1)
+        for count in range(1, MAX_CACHE_ENTRIES + 2):
+            cached_paths("ZINC", SCALE, count)
+        datasets, paths = cache_sizes()
+        assert paths == MAX_CACHE_ENTRIES
+        # The oldest entry was evicted, so re-requesting rebuilds it.
+        assert cached_paths("ZINC", SCALE, 1) is not first
+        clear_caches()
 
 
 class TestProfileConfiguration:

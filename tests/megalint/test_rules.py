@@ -53,6 +53,40 @@ class TestImportLayering:
         assert rule_ids_of(result) == ["MEGA001"]
         assert "repro.pipeline" in result.violations[0].message
 
+    def test_fires_on_high_importing_top(self, lint):
+        result = lint({
+            "repro/pipeline/warm.py": '''\
+                """Doc string long enough."""
+                from repro.serve.server import InferenceServer
+            ''',
+        }, select={"MEGA001"})
+        assert rule_ids_of(result) == ["MEGA001"]
+        assert "top-layer" in result.violations[0].message
+        assert "repro.serve.server" in result.violations[0].message
+
+    def test_fires_on_low_importing_top(self, lint):
+        result = lint({
+            "repro/core/hooks.py": '''\
+                """Doc string long enough."""
+                import repro.serve
+            ''',
+        }, select={"MEGA001"})
+        assert rule_ids_of(result) == ["MEGA001"]
+        assert "top-layer" in result.violations[0].message
+
+    def test_clean_on_top_importing_everything(self, lint):
+        # Top layers are pure consumers: any downward import is fine.
+        result = lint({
+            "repro/serve/server2.py": '''\
+                """Doc string long enough."""
+                from repro.core.batching import padding_waste
+                from repro.models.runtime import MegaRuntime
+                from repro.pipeline.cache import ScheduleCache
+                from repro.resilience import RetryPolicy
+            ''',
+        }, select={"MEGA001"})
+        assert result.ok
+
 
 # ---------------------------------------------------------------- MEGA002
 class TestDeterminism:

@@ -1,0 +1,1 @@
+"""Inference-serving subsystem tests."""

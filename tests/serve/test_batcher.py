@@ -1,0 +1,105 @@
+"""Micro-batching policy: bucketing, ripeness, launch order."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.generators import ring_graph
+from repro.serve import BatchingPolicy, InferenceRequest, MicroBatcher
+from repro.serve.queueing import QueuedRequest
+
+
+class _StubPath:
+    def __init__(self, length):
+        self.length = length
+
+
+def queued(request_id, length, admitted_s):
+    return QueuedRequest(
+        request=InferenceRequest(request_id=request_id,
+                                 graph=ring_graph(6)),
+        admitted_s=admitted_s, path=_StubPath(length), schedule_hit=True)
+
+
+POLICY = BatchingPolicy(max_batch_size=3, max_wait_s=0.01, bucket_width=16)
+
+
+class TestBatchingPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ConfigError):
+            BatchingPolicy(max_wait_s=-1.0)
+        with pytest.raises(ConfigError):
+            BatchingPolicy(bucket_width=0)
+
+    def test_bucket_boundaries(self):
+        # Length exactly at a bucket edge starts the next bucket.
+        pol = BatchingPolicy(bucket_width=16)
+        assert pol.bucket_of(0) == 0
+        assert pol.bucket_of(15) == 0
+        assert pol.bucket_of(16) == 1
+        assert pol.bucket_of(31) == 1
+        assert pol.bucket_of(32) == 2
+
+
+class TestMicroBatcher:
+    def test_empty_queue_selects_nothing(self):
+        b = MicroBatcher(POLICY)
+        assert b.select((), now_s=0.0) is None
+        assert b.next_deadline(()) is None
+
+    def test_underfull_bucket_waits(self):
+        b = MicroBatcher(POLICY)
+        entries = (queued(0, 10, 0.0), queued(1, 12, 0.001))
+        assert b.select(entries, now_s=0.005) is None
+
+    def test_full_bucket_launches_immediately(self):
+        b = MicroBatcher(POLICY)
+        entries = tuple(queued(i, 10 + i, 0.0) for i in range(3))
+        plan = b.select(entries, now_s=0.0)
+        assert plan is not None
+        assert plan.size == 3
+        assert plan.bucket == 0
+
+    def test_ripe_exactly_at_deadline(self):
+        # The event loop advances the clock *to* next_deadline(); the
+        # bucket must be ripe at that instant, not one ulp later.
+        b = MicroBatcher(POLICY)
+        entries = (queued(0, 10, admitted_s=0.1234567),)
+        deadline = b.next_deadline(entries)
+        assert b.select(entries, now_s=deadline) is not None
+        assert b.select(entries, now_s=deadline - 1e-6) is None
+
+    def test_draining_flushes_underfull(self):
+        b = MicroBatcher(POLICY)
+        entries = (queued(0, 10, 0.0),)
+        plan = b.select(entries, now_s=0.0, draining=True)
+        assert plan is not None and plan.size == 1
+
+    def test_buckets_never_mix(self):
+        b = MicroBatcher(POLICY)
+        entries = (queued(0, 10, 0.0), queued(1, 20, 0.0),
+                   queued(2, 11, 0.0), queued(3, 21, 0.0))
+        plan = b.select(entries, now_s=0.0, draining=True)
+        lengths = plan.lengths
+        assert ({POLICY.bucket_of(n) for n in lengths} == {plan.bucket})
+
+    def test_oldest_bucket_launches_first(self):
+        b = MicroBatcher(POLICY)
+        entries = (queued(0, 20, 0.0),     # bucket 1, older
+                   queued(1, 10, 0.002))   # bucket 0, newer
+        plan = b.select(entries, now_s=0.1, draining=True)
+        assert plan.bucket == 1
+
+    def test_takes_at_most_max_batch_in_admission_order(self):
+        b = MicroBatcher(POLICY)
+        entries = tuple(queued(i, 10, i * 1e-4) for i in range(5))
+        plan = b.select(entries, now_s=1.0)
+        assert [e.request.request_id for e in plan.entries] == [0, 1, 2]
+
+    def test_plan_waste_zero_for_equal_lengths(self):
+        b = MicroBatcher(POLICY)
+        entries = tuple(queued(i, 12, 0.0) for i in range(3))
+        plan = b.select(entries, now_s=0.0)
+        assert plan.waste == 0.0
+        assert plan.max_length == 12

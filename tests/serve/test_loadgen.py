@@ -1,0 +1,83 @@
+"""Seeded load generation: exact replay, distribution shape."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.generators import ring_graph
+from repro.serve import ARRIVAL_PROCESSES, ArrivalProcess, generate_requests
+
+
+POOL = [ring_graph(6 + i) for i in range(4)]
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            ArrivalProcess(kind="adversarial")
+
+    def test_bad_rate(self):
+        with pytest.raises(ConfigError):
+            ArrivalProcess(rate_rps=0.0)
+
+    def test_bad_burst(self):
+        with pytest.raises(ConfigError):
+            ArrivalProcess(kind="bursty", burst_factor=0.5)
+        with pytest.raises(ConfigError):
+            ArrivalProcess(kind="bursty", burst_len=0)
+
+    def test_empty_pool(self):
+        with pytest.raises(ConfigError):
+            generate_requests([], 4, ArrivalProcess())
+
+    def test_negative_count(self):
+        with pytest.raises(ConfigError):
+            generate_requests(POOL, -1, ArrivalProcess())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ARRIVAL_PROCESSES)
+    def test_same_seed_same_stream(self, kind):
+        a = generate_requests(POOL, 32, ArrivalProcess(kind=kind, seed=7))
+        b = generate_requests(POOL, 32, ArrivalProcess(kind=kind, seed=7))
+        assert [(r.request_id, r.submitted_s) for r in a] == \
+               [(r.request_id, r.submitted_s) for r in b]
+        assert all(x.graph is y.graph for x, y in zip(a, b))
+
+    def test_different_seed_different_stream(self):
+        a = ArrivalProcess(seed=0).arrival_times(16)
+        b = ArrivalProcess(seed=1).arrival_times(16)
+        assert a != b
+
+    def test_times_strictly_increasing(self):
+        times = ArrivalProcess(seed=3).arrival_times(64)
+        assert all(t1 > t0 for t0, t1 in zip(times, times[1:]))
+
+
+class TestShape:
+    def test_poisson_mean_near_rate(self):
+        proc = ArrivalProcess(kind="poisson", rate_rps=100.0, seed=0)
+        times = proc.arrival_times(400)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1.0 / 100.0, rel=0.2)
+
+    def test_bursty_rate_alternates(self):
+        proc = ArrivalProcess(kind="bursty", rate_rps=100.0,
+                              burst_factor=4.0, burst_len=8)
+        assert proc.rate_at(0) == pytest.approx(400.0)
+        assert proc.rate_at(7) == pytest.approx(400.0)
+        assert proc.rate_at(8) == pytest.approx(25.0)
+        assert proc.rate_at(16) == pytest.approx(400.0)
+
+    def test_interarrival_finite_and_positive(self):
+        proc = ArrivalProcess(seed=11)
+        for i in range(64):
+            gap = proc.interarrival_s(i)
+            assert math.isfinite(gap) and gap > 0.0
+
+    def test_pick_index_in_bounds_and_varied(self):
+        proc = ArrivalProcess(seed=5)
+        picks = [proc.pick_index(i, len(POOL)) for i in range(64)]
+        assert all(0 <= p < len(POOL) for p in picks)
+        assert len(set(picks)) > 1

@@ -1,0 +1,79 @@
+"""Request types and the bounded admission queue."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, QueueFullError
+from repro.graph.generators import ring_graph
+from repro.serve import BoundedRequestQueue, InferenceRequest
+from repro.serve.queueing import InferenceResponse, QueuedRequest
+
+
+class _StubPath:
+    def __init__(self, length):
+        self.length = length
+
+
+def queued(request_id=0, length=10, admitted_s=0.0):
+    return QueuedRequest(
+        request=InferenceRequest(request_id=request_id,
+                                 graph=ring_graph(6)),
+        admitted_s=admitted_s, path=_StubPath(length), schedule_hit=False)
+
+
+class TestInferenceRequest:
+    def test_retry_increments_attempt(self):
+        req = InferenceRequest(request_id=3, graph=ring_graph(6),
+                               submitted_s=1.0)
+        again = req.retry(at_s=1.5)
+        assert again.request_id == 3
+        assert again.graph is req.graph
+        assert again.submitted_s == 1.5
+        assert again.attempt == 1
+        assert req.attempt == 0          # original untouched (frozen)
+
+    def test_response_latency(self):
+        resp = InferenceResponse(request_id=0,
+                                 prediction=np.zeros(1),
+                                 submitted_s=2.0, completed_s=2.25,
+                                 batch_id=0, schedule_hit=True)
+        assert resp.latency_s == pytest.approx(0.25)
+
+
+class TestBoundedRequestQueue:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            BoundedRequestQueue(0)
+
+    def test_admit_until_full_then_rejects(self):
+        q = BoundedRequestQueue(2)
+        q.admit(queued(0))
+        q.admit(queued(1))
+        assert q.full
+        with pytest.raises(QueueFullError) as err:
+            q.admit(queued(2), retry_after_s=0.125)
+        assert err.value.retry_after_s == pytest.approx(0.125)
+        assert q.depth == 2
+
+    def test_max_depth_high_water_mark(self):
+        q = BoundedRequestQueue(4)
+        entries = [queued(i) for i in range(3)]
+        for e in entries:
+            q.admit(e)
+        q.remove(entries[:2])
+        assert q.depth == 1
+        assert q.max_depth == 3
+
+    def test_remove_preserves_admission_order(self):
+        q = BoundedRequestQueue(4)
+        entries = [queued(i) for i in range(4)]
+        for e in entries:
+            q.admit(e)
+        q.remove([entries[1], entries[2]])
+        assert q.entries() == (entries[0], entries[3])
+
+    def test_remove_rejects_foreign_entries(self):
+        q = BoundedRequestQueue(2)
+        q.admit(queued(0))
+        with pytest.raises(ConfigError):
+            q.remove([queued(99)])

@@ -33,12 +33,15 @@ class LintConfig:
     high_layers: List[str] = field(default_factory=lambda: [
         "repro.models", "repro.train", "repro.pipeline",
         "repro.distributed"])
+    #: ...and the top layers above both: consumers (serving) that may
+    #: import anything below, while nothing below imports them.
+    top_layers: List[str] = field(default_factory=lambda: ["repro.serve"])
 
     #: MEGA002: modules whose ordered outputs feed schedule/cache keys,
     #: so set-iteration-order must never leak into them.
     determinism_modules: List[str] = field(default_factory=lambda: [
         "repro.core", "repro.graph", "repro.pipeline",
-        "repro.resilience"])
+        "repro.resilience", "repro.serve"])
 
     #: MEGA003: modules declared as vectorised kernels.
     kernel_modules: List[str] = field(default_factory=lambda: [

@@ -4,8 +4,11 @@ The scheduling substrate (``repro.core``/``repro.graph``/``repro.tensor``)
 must never import the layers built on top of it (``repro.models``,
 ``repro.train``, ``repro.pipeline``, ``repro.distributed``).  An upward
 import creates a cycle-in-waiting and couples Algorithm 1's correctness
-to training-loop code; the dependency arrows in
-``docs/architecture.md`` only point downward.
+to training-loop code.  Above both sit the *top layers*
+(``repro.serve``): pure consumers that may import anything below while
+nothing below imports them, so a user who never serves never pays for
+the serving stack.  The dependency arrows in ``docs/architecture.md``
+only point downward.
 """
 
 from __future__ import annotations
@@ -29,27 +32,46 @@ def _resolve_relative(ctx, node: ast.ImportFrom) -> str:
     return ".".join(base_parts)
 
 
+def _layer_of(target: str, layers) -> str:
+    for layer in layers:
+        if target == layer or target.startswith(layer + "."):
+            return layer
+    return ""
+
+
 @register
 class ImportLayeringRule(Rule):
     id = "MEGA001"
     name = "import-layering"
     rationale = ("low layers (core/graph/tensor) must not import high "
-                 "layers (models/train/pipeline/distributed)")
+                 "layers (models/train/pipeline/distributed), and no "
+                 "layer below may import a top layer (serve)")
 
     def enabled_for(self, ctx) -> bool:
-        return ctx.in_modules(ctx.config.low_layers)
+        return ctx.in_modules(ctx.config.low_layers
+                              + ctx.config.high_layers)
 
     def _check_target(self, node: ast.AST, ctx, target: str) -> None:
-        for high in ctx.config.high_layers:
-            if target == high or target.startswith(high + "."):
-                low = next(p for p in ctx.config.low_layers
-                           if ctx.in_modules([p]))
-                ctx.report(self, node,
-                           f"low-layer module '{ctx.module}' (layer "
-                           f"'{low}') imports high-layer '{target}' — "
-                           "invert the dependency or move the shared "
-                           "piece down")
-                return
+        if ctx.in_modules(ctx.config.low_layers):
+            own_kind = "low"
+            own = next(p for p in ctx.config.low_layers
+                       if ctx.in_modules([p]))
+            banned = ctx.config.high_layers + ctx.config.top_layers
+        else:
+            own_kind = "high"
+            own = next(p for p in ctx.config.high_layers
+                       if ctx.in_modules([p]))
+            banned = ctx.config.top_layers
+        hit = _layer_of(target, banned)
+        if not hit:
+            return
+        kind = ("top-layer" if _layer_of(target, ctx.config.top_layers)
+                else "high-layer")
+        ctx.report(self, node,
+                   f"{own_kind}-layer module '{ctx.module}' (layer "
+                   f"'{own}') imports {kind} '{target}' — "
+                   "invert the dependency or move the shared "
+                   "piece down")
 
     def visit_Import(self, node: ast.Import, ctx) -> None:
         for alias in node.names:
