@@ -1,0 +1,94 @@
+"""Bridge from the figure/ablation suites to the ``BENCH_*.json`` ledgers.
+
+The benchmark suites under ``benchmarks/`` print eyeball-able tables;
+this adapter lets the same rows *also* land in a machine-readable
+ledger without changing how the suites run.  It is opt-in: set
+
+    REPRO_BENCH_FROM_PYTEST=<directory>
+
+and every ``emit_rows(...)`` call merges its rows into
+``<directory>/BENCH_<area>.json`` (creating or updating the entry named
+after the emitting figure).  Unset, ``emit_rows`` is a no-op, so plain
+``pytest benchmarks/`` behaves exactly as before.
+
+Row dicts are flattened into ledger metrics: string-valued columns form
+the row label (``ZINC/GCN``), numeric columns become keys like
+``ZINC/GCN.sgemm``.  The entry fingerprint hashes the flattened metrics'
+key set plus the emitting workload name, so ``compare`` can tell "the
+figure changed shape" from "a number regressed".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def _output_dir() -> Optional[Path]:
+    value = os.environ.get("REPRO_BENCH_FROM_PYTEST")
+    return Path(value) if value else None
+
+
+def flatten_rows(rows: Sequence[Mapping],
+                 label_columns: Optional[Sequence[str]] = None
+                 ) -> Dict[str, float]:
+    """``[{"dataset": "ZINC", "sgemm": 0.9}] -> {"ZINC.sgemm": 0.9}``.
+
+    ``label_columns`` names the identifying columns (default: every
+    string-valued column); the rest become ``<label>.<column>`` metrics.
+    """
+    metrics: Dict[str, float] = {}
+    for index, row in enumerate(rows):
+        if label_columns is None:
+            label_parts = [str(v) for v in row.values()
+                           if isinstance(v, str)]
+        else:
+            label_parts = [str(row[c]) for c in label_columns if c in row]
+        label = "/".join(label_parts) or f"row{index}"
+        for column, value in row.items():
+            if label_columns is not None and column in label_columns:
+                continue
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue
+            metrics[f"{label}.{column}"] = value
+    return metrics
+
+
+def emit_rows(area: str, workload: str, rows: Sequence[Mapping],
+              seed: int = 0,
+              label_columns: Optional[Sequence[str]] = None,
+              config: Optional[Mapping] = None) -> Optional[Path]:
+    """Merge one figure's rows into ``BENCH_<area>.json`` (if enabled)."""
+    directory = _output_dir()
+    if directory is None or not rows:
+        return None
+    from repro.bench.ledger import (LEDGER_SCHEMA_VERSION, LedgerEntry,
+                                    environment_block, ledger_path,
+                                    validate_ledger)
+
+    metrics = flatten_rows(rows, label_columns=label_columns)
+    digest = hashlib.sha256()
+    digest.update(f"pytest-rows:{workload}:".encode("utf-8"))
+    digest.update("\n".join(sorted(metrics)).encode("utf-8"))
+    entry = LedgerEntry(workload=workload, seed=seed,
+                        fingerprint=digest.hexdigest(),
+                        config=dict(config or {}), metrics=metrics)
+    path = ledger_path(directory, area)
+    if path.is_file():
+        data = json.loads(path.read_text(encoding="utf-8"))
+        validate_ledger(data, source=str(path))
+    else:
+        data = {"schema_version": LEDGER_SCHEMA_VERSION, "area": area,
+                "entries": [], "environment": environment_block()}
+    entries: List[dict] = [e for e in data["entries"]
+                           if e.get("workload") != workload]
+    entries.append(entry.to_json_dict())
+    data["entries"] = sorted(entries, key=lambda e: e["workload"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

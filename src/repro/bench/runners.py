@@ -1,0 +1,44 @@
+"""Run registered workloads and write their ``BENCH_*.json`` ledgers."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.bench.ledger import (Ledger, environment_block, write_ledger)
+from repro.bench.workloads import workloads_for
+from repro.errors import BenchError
+
+
+def run_area(area: str, seed: int = 0) -> Ledger:
+    """Execute every workload of one area; returns the in-memory ledger."""
+    workloads = workloads_for(area)
+    if not workloads:
+        raise BenchError(f"no workloads registered for area {area!r}")
+    entries = tuple(w.run(seed) for w in workloads)
+    return Ledger(area=area, entries=entries)
+
+
+def run_areas(areas: Iterable[str], seed: int = 0,
+              output_dir: Union[str, Path] = ".",
+              progress=None) -> Dict[str, Path]:
+    """Run several areas and write one ledger file per area.
+
+    ``progress`` is an optional ``callable(str)`` fed one line per
+    area (the CLI passes ``print``); the library default is silent.
+    The environment block is computed once so all files of a run carry
+    the same provenance stamp.
+    """
+    output_dir = Path(output_dir)
+    environment = environment_block()
+    written: Dict[str, Path] = {}
+    for area in areas:
+        if progress is not None:
+            progress(f"bench: running area '{area}' (seed {seed}) ...")
+        ledger = run_area(area, seed=seed)
+        path = write_ledger(ledger, output_dir, environment=environment)
+        written[area] = path
+        if progress is not None:
+            progress(f"bench: wrote {path} "
+                     f"({len(ledger.entries)} workloads)")
+    return written

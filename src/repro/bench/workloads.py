@@ -1,0 +1,340 @@
+"""Deterministic seeded workloads behind each ``BENCH_*.json`` ledger.
+
+Every workload is a named, registered function ``(seed) -> LedgerEntry``
+over the existing stack — small enough for CI's bench-smoke job (a few
+seconds each) yet exercising the same code paths as the full figure
+suites in ``benchmarks/``.  All simulated numbers (kernel times, serve
+latencies, epoch costs) come from the analytic GTX-1080 memory model
+and are bit-deterministic; only the ``wall`` blocks read a real clock.
+
+Workload *fingerprints* reuse the pipeline's content-addressed hashing
+(:mod:`repro.pipeline.hashing`): a fingerprint changes exactly when the
+input graphs or the preprocessing config change, which tells ``compare``
+that a metric delta reflects a different workload rather than a
+regression.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.bench.ledger import AREAS, LedgerEntry
+from repro.core.config import MegaConfig
+from repro.datasets import load_dataset
+from repro.errors import BenchError
+from repro.pipeline.hashing import config_fingerprint, graph_fingerprint
+
+#: Dataset scale shared by the pipeline/serve/train workloads: ZINC at
+#: 0.004 gives ~40 train / 4 val / 4 test graphs — the same fast-recipe
+#: the serve test-suite uses.
+SMALL_SCALE = 0.004
+
+#: Scale for the kernel workloads (profiling needs >= batch-size train
+#: graphs); matches the benchmarks/ suites' reduced-cost settings.
+KERNEL_SCALE = 0.03
+
+
+def workload_fingerprint(graphs: Sequence, config: MegaConfig,
+                         label: str) -> str:
+    """Content hash over (workload label, config, every input graph)."""
+    digest = hashlib.sha256()
+    digest.update(f"bench-workload:{label}:".encode("utf-8"))
+    digest.update(config_fingerprint(config))
+    for graph in graphs:
+        digest.update(graph_fingerprint(graph))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A registered benchmark workload."""
+
+    name: str
+    area: str
+    description: str
+    run: Callable[[int], LedgerEntry]
+
+
+#: Registration order is execution order within an area.
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def _register(name: str, area: str, description: str):
+    if area not in AREAS:
+        raise BenchError(f"unknown bench area {area!r}; one of {AREAS}")
+
+    def wrap(fn: Callable[[int], LedgerEntry]) -> Callable:
+        if name in WORKLOADS:
+            raise BenchError(f"duplicate workload name {name!r}")
+        WORKLOADS[name] = Workload(name, area, description, fn)
+        return fn
+
+    return wrap
+
+
+def workloads_for(area: str) -> List[Workload]:
+    """The registered workloads of one area, in registration order."""
+    if area not in AREAS:
+        raise BenchError(f"unknown bench area {area!r}; one of {AREAS}")
+    return [w for w in WORKLOADS.values() if w.area == area]
+
+
+# ---------------------------------------------------------------------------
+# pipeline: cold/warm preprocessing through the ScheduleCache
+# ---------------------------------------------------------------------------
+
+@_register("pipeline_cold_warm", "pipeline",
+           "Algorithm-1 preprocessing of ZINC-small, cold then warm "
+           "through an on-disk ScheduleCache")
+def run_pipeline_workload(seed: int) -> LedgerEntry:
+    from repro.pipeline import ScheduleCache, precompute_paths
+
+    config = MegaConfig(seed=seed)
+    dataset = load_dataset("ZINC", scale=SMALL_SCALE)
+    graphs = dataset.all_graphs()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        cache_dir = Path(tmp) / "schedules"
+        start = time.perf_counter()
+        cold = precompute_paths(graphs, config, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = precompute_paths(graphs, config, cache_dir=cache_dir)
+        warm_s = time.perf_counter() - start
+        cache = ScheduleCache(cache_dir)
+        cache_entries = len(cache)
+        cache_bytes = int(cache.total_bytes)
+    path_positions = sum(len(rep.path) for rep in cold.paths)
+    metrics = {
+        "num_graphs": len(graphs),
+        "cold_computed": cold.stats.computed,
+        "cold_misses": cold.stats.cache.misses,
+        "cold_puts": cold.stats.cache.puts,
+        "deduplicated": cold.stats.deduplicated,
+        "warm_from_cache": warm.stats.from_cache,
+        "warm_hits": warm.stats.cache.hits,
+        "warm_misses": warm.stats.cache.misses,
+        "cache_entries": cache_entries,
+        "cache_bytes": cache_bytes,
+        "path_positions": path_positions,
+    }
+    wall = {"cold_wall_s": cold_s, "warm_wall_s": warm_s}
+    return LedgerEntry(
+        workload="pipeline_cold_warm", seed=seed,
+        fingerprint=workload_fingerprint(graphs, config,
+                                         "pipeline_cold_warm"),
+        config={"dataset": "ZINC", "scale": SMALL_SCALE, "workers": 1},
+        metrics=metrics, wall=wall)
+
+
+# ---------------------------------------------------------------------------
+# serve: the inference server under seeded open-loop load
+# ---------------------------------------------------------------------------
+
+def _serve_entry(name: str, kind: str, seed: int) -> LedgerEntry:
+    from repro.resilience import RetryPolicy
+    from repro.serve import (ArrivalProcess, BatchingPolicy,
+                             InferenceServer, ServerConfig,
+                             generate_requests)
+    from repro.train import build_model
+
+    dataset = load_dataset("ZINC", scale=SMALL_SCALE)
+    model = build_model("GCN", dataset, hidden_dim=16, num_layers=2,
+                        seed=0)
+    pool = dataset.test[:6]
+    process = ArrivalProcess(kind=kind, rate_rps=400.0, seed=seed)
+    requests = generate_requests(pool, 64, process)
+    server = InferenceServer(
+        model,
+        config=ServerConfig(queue_capacity=16,
+                            policy=BatchingPolicy(max_batch_size=8,
+                                                  max_wait_s=0.02,
+                                                  bucket_width=16)))
+    result = server.run(requests,
+                        retry_policy=RetryPolicy(max_attempts=3))
+    stats = result.stats
+    metrics = {
+        "received": stats.received,
+        "served": stats.served,
+        "rejected": stats.rejected,
+        "retried": stats.retried,
+        "dropped": stats.dropped,
+        "num_batches": len(stats.batches),
+        "max_queue_depth": stats.max_queue_depth,
+        "mean_queue_depth": stats.mean_queue_depth,
+        "mean_batch_occupancy": stats.mean_batch_occupancy,
+        "mean_padding_waste": stats.mean_padding_waste,
+        "p50_latency_s": stats.p50_latency_s,
+        "p95_latency_s": stats.p95_latency_s,
+        "p99_latency_s": stats.p99_latency_s,
+        "throughput_rps": stats.throughput_rps,
+        "sim_duration_s": stats.sim_duration_s,
+        "schedule_hits": stats.cache.hits,
+        "schedule_misses": stats.cache.misses,
+    }
+    return LedgerEntry(
+        workload=name, seed=seed,
+        fingerprint=workload_fingerprint(pool, MegaConfig(), name),
+        config={"dataset": "ZINC", "scale": SMALL_SCALE, "model": "GCN",
+                "arrival": kind, "rate_rps": 400.0, "num_requests": 64,
+                "queue_capacity": 16, "max_batch_size": 8},
+        metrics=metrics, wall={})
+
+
+@_register("serve_poisson", "serve",
+           "InferenceServer under a seeded Poisson arrival stream")
+def run_serve_poisson(seed: int) -> LedgerEntry:
+    return _serve_entry("serve_poisson", "poisson", seed)
+
+
+@_register("serve_bursty", "serve",
+           "InferenceServer under a bursty arrival stream (queue "
+           "pressure, rejections, retries)")
+def run_serve_bursty(seed: int) -> LedgerEntry:
+    return _serve_entry("serve_bursty", "bursty", seed)
+
+
+# ---------------------------------------------------------------------------
+# kernels: analytic kernel-plan costs + memsim counters (Fig. 4-6 shapes)
+# ---------------------------------------------------------------------------
+
+#: Kernel-name prefixes that constitute "graph work" (vs dense sgemm):
+#: DGL-style gather/scatter/sort for the baseline, band/reduce for Mega.
+_GRAPH_KERNEL_PREFIXES = ("dgl::", "cub::", "mega::")
+
+
+def _kernels_entry(name: str, model: str, method: str,
+                   seed: int) -> LedgerEntry:
+    from repro.profiling.workload import cached_dataset, profile_configuration
+
+    batch_size, hidden_dim, num_layers = 32, 64, 4
+    profiler = profile_configuration("ZINC", model, method,
+                                     batch_size=batch_size,
+                                     hidden_dim=hidden_dim,
+                                     num_layers=num_layers,
+                                     scale=KERNEL_SCALE)
+    aggregates = profiler.by_kernel()
+    loads = sum(a.load_transactions for a in aggregates.values())
+    stores = sum(a.store_transactions for a in aggregates.values())
+    dram = sum(a.dram_bytes for a in aggregates.values())
+    l2_hits = sum(a.l2_hits for a in aggregates.values())
+    l2_total = l2_hits + sum(a.l2_misses for a in aggregates.values())
+    graph_pct = sum(
+        pct for kernel, pct in profiler.time_percentages().items()
+        if kernel.startswith(_GRAPH_KERNEL_PREFIXES))
+    metrics = {
+        "total_time_s": profiler.total_time,
+        "total_calls": profiler.total_calls,
+        "sm_efficiency": profiler.normalized_metric("sm_efficiency"),
+        "memory_stall_pct": profiler.normalized_metric("memory_stall_pct"),
+        "load_transactions": loads,
+        "store_transactions": stores,
+        "dram_bytes": dram,
+        "l2_hit_rate": l2_hits / l2_total if l2_total else 0.0,
+        "graph_time_pct": graph_pct,
+    }
+    graphs = cached_dataset("ZINC", KERNEL_SCALE).train[:batch_size]
+    return LedgerEntry(
+        workload=name, seed=seed,
+        fingerprint=workload_fingerprint(graphs, MegaConfig(), name),
+        config={"dataset": "ZINC", "scale": KERNEL_SCALE, "model": model,
+                "method": method, "batch_size": batch_size,
+                "hidden_dim": hidden_dim, "num_layers": num_layers},
+        metrics=metrics, wall={})
+
+
+def _register_kernels() -> None:
+    for model in ("GCN", "GT"):
+        for method in ("baseline", "mega"):
+            name = f"kernels_{model.lower()}_{method}"
+            desc = (f"simulated forward batch of {model} ({method}) — "
+                    "the Fig. 4-6 counters at reduced scale")
+
+            def make(name=name, model=model, method=method):
+                def run(seed: int) -> LedgerEntry:
+                    return _kernels_entry(name, model, method, seed)
+                return run
+
+            _register(name, "kernels", desc)(make())
+
+
+_register_kernels()
+
+
+# ---------------------------------------------------------------------------
+# train: short training run + checkpoint overhead + resume fidelity
+# ---------------------------------------------------------------------------
+
+@_register("train_gcn_mega", "train",
+           "3-epoch GCN/mega run on ZINC-small: epoch cost, checkpoint "
+           "size, and resume fidelity vs an uninterrupted run")
+def run_train_workload(seed: int) -> LedgerEntry:
+    from repro.train import Trainer, build_model
+    from repro.train.checkpoint import save_checkpoint
+
+    num_epochs, batch_size = 3, 16
+    dataset = load_dataset("ZINC", scale=SMALL_SCALE)
+
+    def make_trainer():
+        model = build_model("GCN", dataset, hidden_dim=16, num_layers=2,
+                            seed=seed)
+        return Trainer(model, dataset, method="mega",
+                       batch_size=batch_size, seed=seed)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        ckpt_dir = Path(tmp) / "ckpt"
+        # Uninterrupted reference run.
+        trainer = make_trainer()
+        preprocess_s = trainer.preprocess_s
+        start = time.perf_counter()
+        full = trainer.fit(num_epochs)
+        fit_s = time.perf_counter() - start
+        # Checkpointed run, killed after 2 epochs, then resumed to the
+        # same horizon; fidelity = worst per-epoch deviation.
+        interrupted = make_trainer()
+        interrupted.fit(2, checkpoint_dir=ckpt_dir, checkpoint_every=1)
+        resumed_trainer = make_trainer()
+        resumed = resumed_trainer.fit(num_epochs, checkpoint_dir=ckpt_dir,
+                                      resume=True)
+        start = time.perf_counter()
+        save_checkpoint(Path(tmp) / "overhead.npz", trainer.model,
+                        optimizer=trainer.optimizer, epoch=num_epochs,
+                        metric=full.records[-1].val_metric)
+        checkpoint_s = time.perf_counter() - start
+        # Measure the model+optimizer checkpoint, not the trainer's
+        # full-state one: the latter embeds wall-clock history
+        # (preprocess_s per epoch), so its compressed size is not a
+        # pure function of the seed and would poison the replay
+        # surface.
+        checkpoint_bytes = (Path(tmp) / "overhead.npz").stat().st_size
+    resume_diff = max(
+        max(abs(a.train_loss - b.train_loss),
+            abs(a.val_metric - b.val_metric),
+            abs(a.sim_time_s - b.sim_time_s))
+        for a, b in zip(full.records, resumed.records))
+    total_sim_s = sum(r.sim_time_s for r in full.records)
+    metrics = {
+        "epochs": num_epochs,
+        "final_train_loss": full.records[-1].train_loss,
+        "final_val_metric": full.records[-1].val_metric,
+        "sim_epoch_s": total_sim_s / num_epochs,
+        "total_sim_s": total_sim_s,
+        "checkpoint_bytes": int(checkpoint_bytes),
+        "resume_max_abs_diff": resume_diff,
+    }
+    wall = {"preprocess_wall_s": preprocess_s, "fit_wall_s": fit_s,
+            "checkpoint_wall_s": checkpoint_s}
+    return LedgerEntry(
+        workload="train_gcn_mega", seed=seed,
+        fingerprint=workload_fingerprint(dataset.all_graphs(),
+                                         MegaConfig(seed=seed),
+                                         "train_gcn_mega"),
+        config={"dataset": "ZINC", "scale": SMALL_SCALE, "model": "GCN",
+                "method": "mega", "epochs": num_epochs,
+                "batch_size": batch_size, "hidden_dim": 16,
+                "num_layers": 2},
+        metrics=metrics, wall=wall)

@@ -9,9 +9,11 @@ train       Train a model under a schedule; prints per-epoch history.
 compare     Baseline-vs-MEGA epoch time and convergence summary.
 serve       Serve a dataset's test split through the inference server.
 loadtest    Seeded Poisson/bursty load test; prints SLO metrics.
+bench       Benchmark harness: run/compare/list BENCH_*.json ledgers.
 
 Exit codes: 0 on success, 2 on any :class:`~repro.errors.ReproError`
-(printed as a one-line message, never a traceback).
+(printed as a one-line message, never a traceback); ``bench compare``
+additionally exits 1 on a perf regression.
 """
 
 from __future__ import annotations
@@ -321,6 +323,14 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    # Thin passthrough: the bench harness owns its own argparse tree and
+    # exit-code contract (0 ok / 1 regression / 2 ReproError).
+    from repro.bench.cli import main as bench_main
+
+    return bench_main(args.bench_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description=__doc__.splitlines()[0])
@@ -410,6 +420,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="client retry attempts on rejection "
                         "(0 = drop immediately)")
     p.set_defaults(func=cmd_loadtest)
+
+    p = sub.add_parser("bench",
+                       help="benchmark harness: run/compare/list "
+                            "(forwards to python -m repro.bench)")
+    p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                   help="arguments for repro.bench (e.g. 'run --all')")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -50,6 +50,16 @@ class ServeError(ReproError):
     """Raised by the inference-serving subsystem on invalid state or specs."""
 
 
+class BenchError(ReproError):
+    """Raised by the benchmark harness on malformed ledgers or bad compares.
+
+    Covers unreadable/invalid ``BENCH_*.json`` files, schema-version or
+    area mismatches between baseline and candidate, and unknown
+    workload/area names.  A *regression* is not an error: ``compare``
+    reports it through its exit code (1), never by raising.
+    """
+
+
 class QueueFullError(ServeError):
     """Admission rejected because the request queue is at capacity.
 

@@ -1,0 +1,41 @@
+"""CLI surface of the bench harness (cheap paths only; the heavy
+run/compare flow is covered by tests/test_bench_gate.py)."""
+
+from repro.bench.cli import main as bench_main
+from repro.cli import main as repro_main
+
+
+class TestBenchCli:
+    def test_list_prints_every_area(self, capsys):
+        assert bench_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("BENCH_pipeline.json", "BENCH_serve.json",
+                     "BENCH_kernels.json", "BENCH_train.json"):
+            assert name in out
+
+    def test_run_without_selection_is_an_error(self, capsys):
+        assert bench_main(["run"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_unknown_area_is_an_error(self, capsys):
+        assert bench_main(["run", "--areas", "nonsense"]) == 2
+        assert "nonsense" in capsys.readouterr().err
+
+    def test_compare_missing_baseline_dir_is_an_error(self, tmp_path,
+                                                      capsys):
+        assert bench_main(["compare", "--baseline",
+                           str(tmp_path / "nope"),
+                           "--candidate", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+
+class TestReproCliPassthrough:
+    def test_bench_subcommand_forwards(self, capsys):
+        assert repro_main(["bench", "list"]) == 0
+        assert "BENCH_serve.json" in capsys.readouterr().out
+
+    def test_bench_forwards_exit_codes(self, tmp_path, capsys):
+        code = repro_main(["bench", "compare", "--baseline",
+                           str(tmp_path), "--candidate", str(tmp_path)])
+        capsys.readouterr()
+        assert code == 2

@@ -526,3 +526,85 @@ class TestUnboundedRetry:
             ''',
         }, select={"MEGA010"})
         assert result.ok
+
+
+class TestLedgerDeterminism:
+    def test_clock_read_in_as_dict_fires(self, lint):
+        result = lint({
+            "repro/bench/stats.py": '''\
+                """Doc string long enough."""
+                import time
+
+                class Stats:
+                    def as_dict(self):
+                        return {"served": 1,
+                                "elapsed": time.perf_counter()}
+            ''',
+        }, select={"MEGA011"})
+        assert rule_ids_of(result) == ["MEGA011"]
+
+    def test_wallish_key_in_replay_surface_fires(self, lint):
+        result = lint({
+            "repro/bench/ledger2.py": '''\
+                """Doc string long enough."""
+                def replay_surface(entry):
+                    return {"metrics": {}, "wall_s": entry.wall_s}
+            ''',
+        }, select={"MEGA011"})
+        assert rule_ids_of(result) == ["MEGA011"]
+
+    def test_timestamp_key_in_suffixed_builder_fires(self, lint):
+        result = lint({
+            "repro/serve/stats.py": '''\
+                """Doc string long enough."""
+                def batch_replay_surface(batch):
+                    return {"timestamp": batch.stamp}
+            ''',
+        }, select={"MEGA011"})
+        assert rule_ids_of(result) == ["MEGA011"]
+
+    def test_clock_outside_replay_funcs_is_clean(self, lint):
+        result = lint({
+            # Wall-clock reads and wall-ish keys are fine in the
+            # *excluded* blocks (environment_block, plain helpers).
+            "repro/bench/ledger3.py": '''\
+                """Doc string long enough."""
+                import time
+
+                def environment_block():
+                    return {"timestamp": time.time()}
+
+                def as_dict(metrics):
+                    return {"metrics": dict(metrics)}
+            ''',
+        }, select={"MEGA011"})
+        assert result.ok
+
+    def test_out_of_scope_module_is_clean(self, lint):
+        result = lint({
+            # Same code outside the ledger-scoped modules: not our rule.
+            "repro/models/report.py": '''\
+                """Doc string long enough."""
+                import time
+
+                def as_dict(self):
+                    return {"wall_s": time.time()}
+            ''',
+        }, select={"MEGA011"})
+        assert result.ok
+
+    def test_nested_helper_function_not_flagged(self, lint):
+        result = lint({
+            # The nearest enclosing function wins: a local helper inside
+            # as_dict that is itself not a replay builder stays clean.
+            "repro/bench/helpers.py": '''\
+                """Doc string long enough."""
+                import time
+
+                def as_dict(metrics):
+                    def stamp():
+                        return time.time()
+                    return {"metrics": dict(metrics)}
+            ''',
+        }, select={"MEGA011"})
+        assert result.ok

@@ -35,13 +35,14 @@ class LintConfig:
         "repro.distributed"])
     #: ...and the top layers above both: consumers (serving) that may
     #: import anything below, while nothing below imports them.
-    top_layers: List[str] = field(default_factory=lambda: ["repro.serve"])
+    top_layers: List[str] = field(default_factory=lambda: [
+        "repro.serve", "repro.bench"])
 
     #: MEGA002: modules whose ordered outputs feed schedule/cache keys,
     #: so set-iteration-order must never leak into them.
     determinism_modules: List[str] = field(default_factory=lambda: [
         "repro.core", "repro.graph", "repro.pipeline",
-        "repro.resilience", "repro.serve"])
+        "repro.resilience", "repro.serve", "repro.bench"])
 
     #: MEGA003: modules declared as vectorised kernels.
     kernel_modules: List[str] = field(default_factory=lambda: [
@@ -52,7 +53,13 @@ class LintConfig:
         "repro.pipeline.hashing", "repro.pipeline.cache"])
 
     #: MEGA009: modules allowed to call ``print`` (user-facing CLIs).
-    print_allowed: List[str] = field(default_factory=lambda: ["repro.cli"])
+    print_allowed: List[str] = field(default_factory=lambda: [
+        "repro.cli", "repro.bench.cli"])
+
+    #: MEGA011: modules whose ``as_dict``/``replay_surface`` functions
+    #: build byte-identical replay/ledger surfaces.
+    ledger_modules: List[str] = field(default_factory=lambda: [
+        "repro.bench", "repro.serve.stats", "repro.pipeline.stats"])
 
     #: MEGA007: a module docstring shorter than this is a placeholder.
     docstring_min_length: int = 10

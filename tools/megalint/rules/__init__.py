@@ -17,4 +17,5 @@ from tools.megalint.rules import (  # noqa: F401
     public_api,
     io_hygiene,
     retry_bounds,
+    ledger_determinism,
 )

@@ -1,0 +1,87 @@
+"""MEGA011 — replay-surface dicts must stay wall-clock-free.
+
+The benchmark ledgers (``BENCH_*.json``) and the serve/pipeline stats
+dicts promise a byte-identical *replay surface*: run the same tree with
+the same seed twice and the surface bytes match exactly.  That promise
+dies the moment a wall-clock read or a timestamp-ish key slips into the
+functions that build those surfaces — the classic regression is someone
+"helpfully" adding ``"wall_s": time.perf_counter() - t0`` to a stats
+``as_dict()``.  Wall-clock numbers belong in the ledger's *excluded*
+blocks (the per-entry ``wall`` dict, the top-level ``environment``),
+which are produced by differently-named functions on purpose.
+
+Flagged inside the ledger-scoped modules, but only within functions
+named ``as_dict``, ``replay_surface``, or ``*_replay_surface``:
+
+* any wall-clock read (``time.time``/``perf_counter``/
+  ``datetime.now`` and friends — the MEGA004 clock-call set);
+* a dict literal carrying a wall-ish key: ``timestamp``, ``hostname``,
+  ``created_at``, ``date``, ``now``, or anything starting ``wall``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.megalint.astutil import dotted_name
+from tools.megalint.registry import Rule, register
+from tools.megalint.rules.cache_purity import _CLOCK_CALLS
+
+#: Function names whose return value is (part of) a replay surface.
+_REPLAY_FUNCS = frozenset({"as_dict", "replay_surface"})
+
+_BANNED_KEYS = frozenset({"timestamp", "hostname", "created_at", "date",
+                          "now"})
+
+
+def _is_replay_func(name: str) -> bool:
+    return name in _REPLAY_FUNCS or name.endswith("_replay_surface")
+
+
+def _banned_key(key: str) -> bool:
+    return key in _BANNED_KEYS or key.startswith("wall")
+
+
+@register
+class LedgerDeterminismRule(Rule):
+    id = "MEGA011"
+    name = "ledger-determinism"
+    rationale = ("replay-surface builders (as_dict/replay_surface) may "
+                 "not read wall clocks or emit wall-ish keys — wall "
+                 "time belongs in the excluded wall/environment blocks")
+
+    def enabled_for(self, ctx) -> bool:
+        return ctx.in_modules(ctx.config.ledger_modules)
+
+    def _enclosing_replay_func(self, node: ast.AST, ctx):
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                if _is_replay_func(ancestor.name):
+                    return ancestor
+                return None  # nearest function wins; nesting stops here
+        return None
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        flat = dotted_name(node.func)
+        if flat not in _CLOCK_CALLS:
+            return
+        func = self._enclosing_replay_func(node, ctx)
+        if func is not None:
+            ctx.report(self, node,
+                       f"wall-clock read '{flat}()' inside replay-"
+                       f"surface builder '{func.name}' — move it to "
+                       "the wall/environment block")
+
+    def visit_Dict(self, node: ast.Dict, ctx) -> None:
+        func = self._enclosing_replay_func(node, ctx)
+        if func is None:
+            return
+        for key in node.keys:
+            if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    and _banned_key(key.value)):
+                ctx.report(self, key,
+                           f"wall-ish key {key.value!r} in replay-"
+                           f"surface builder '{func.name}' — replay "
+                           "surfaces must be wall-clock-free; use the "
+                           "excluded wall/environment blocks")
