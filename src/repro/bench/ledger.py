@@ -1,8 +1,8 @@
 """The ``BENCH_*.json`` ledger format: schema, replay surface, (de)serialisation.
 
 One ledger file per benchmark *area* (``BENCH_pipeline.json``,
-``BENCH_serve.json``, ``BENCH_kernels.json``, ``BENCH_train.json``),
-each holding a list of workload entries.  The format splits every
+``BENCH_serve.json``, ``BENCH_kernels.json``, ``BENCH_train.json``,
+``BENCH_cluster.json``), each holding a list of workload entries.  The format splits every
 number into one of two surfaces:
 
 * the **replay surface** — ``schema_version``, ``area``, and each
@@ -41,7 +41,8 @@ from repro.errors import BenchError
 LEDGER_SCHEMA_VERSION = 1
 
 #: The benchmark areas, in the order ``run --all`` executes them.
-AREAS: Tuple[str, ...] = ("pipeline", "serve", "kernels", "train")
+AREAS: Tuple[str, ...] = ("pipeline", "serve", "kernels", "train",
+                          "cluster")
 
 _NUMERIC = (int, float)
 

@@ -199,6 +199,102 @@ def run_serve_bursty(seed: int) -> LedgerEntry:
 
 
 # ---------------------------------------------------------------------------
+# cluster: N replicas behind the router — policies, tiers, failover
+# ---------------------------------------------------------------------------
+
+def _cluster_entry(name: str, policy: str, seed: int,
+                   fault_plan=None) -> LedgerEntry:
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.resilience import RetryPolicy
+    from repro.serve import (ArrivalProcess, BatchingPolicy, ServerConfig,
+                             generate_requests)
+    from repro.train import build_model
+
+    dataset = load_dataset("ZINC", scale=SMALL_SCALE)
+    model = build_model("GCN", dataset, hidden_dim=16, num_layers=2,
+                        seed=0)
+    pool = dataset.test[:6]
+    process = ArrivalProcess(kind="poisson", rate_rps=400.0, seed=seed)
+    requests = generate_requests(pool, 64, process)
+    cluster = Cluster(
+        model, fault_plan=fault_plan,
+        config=ClusterConfig(
+            num_replicas=3, policy=policy,
+            server=ServerConfig(queue_capacity=16,
+                                policy=BatchingPolicy(max_batch_size=8,
+                                                      max_wait_s=0.02,
+                                                      bucket_width=16))))
+    result = cluster.run(requests,
+                         retry_policy=RetryPolicy(max_attempts=3))
+    stats = result.stats
+    metrics = {
+        "received": stats.received,
+        "served": stats.served,
+        "failed": stats.failed,
+        "rejected": stats.rejected,
+        "retried": stats.retried,
+        "failovers": stats.failovers,
+        "crashed_replicas": stats.crashed_replicas,
+        "rebalanced_arcs": stats.rebalanced_arcs,
+        "num_batches": stats.num_batches,
+        "p50_latency_s": stats.p50_latency_s,
+        "p95_latency_s": stats.p95_latency_s,
+        "p99_latency_s": stats.p99_latency_s,
+        "throughput_rps": stats.throughput_rps,
+        "sim_duration_s": stats.sim_duration_s,
+        "l1_hits": stats.tier.l1_hits,
+        "l2_hits": stats.tier.l2_hits,
+        "schedule_misses": stats.tier.misses,
+        "l1_hit_rate": stats.tier.l1_hit_rate,
+        "l2_hit_rate": stats.tier.l2_hit_rate,
+    }
+    config = {"dataset": "ZINC", "scale": SMALL_SCALE, "model": "GCN",
+              "arrival": "poisson", "rate_rps": 400.0, "num_requests": 64,
+              "num_replicas": 3, "policy": policy,
+              "queue_capacity": 16, "max_batch_size": 8}
+    if fault_plan is not None:
+        config["crash_replicas"] = len(fault_plan.crash_replicas)
+        config["crash_after_batches"] = fault_plan.crash_after_batches
+    return LedgerEntry(
+        workload=name, seed=seed,
+        fingerprint=workload_fingerprint(pool, MegaConfig(), name),
+        config=config, metrics=metrics, wall={})
+
+
+@_register("cluster_round_robin", "cluster",
+           "3-replica cluster, round-robin routing (content-blind "
+           "baseline for the tier hit rates)")
+def run_cluster_round_robin(seed: int) -> LedgerEntry:
+    return _cluster_entry("cluster_round_robin", "round-robin", seed)
+
+
+@_register("cluster_hash_affinity", "cluster",
+           "3-replica cluster, hash-affinity routing (repeat graphs "
+           "revisit their replica's L1 tier)")
+def run_cluster_hash_affinity(seed: int) -> LedgerEntry:
+    return _cluster_entry("cluster_hash_affinity", "hash-affinity", seed)
+
+
+@_register("cluster_least_queue", "cluster",
+           "3-replica cluster, least-queue routing (load-aware, "
+           "content-blind)")
+def run_cluster_least_queue(seed: int) -> LedgerEntry:
+    return _cluster_entry("cluster_least_queue", "least-queue", seed)
+
+
+@_register("cluster_failover", "cluster",
+           "3-replica hash-affinity cluster with a pinned replica "
+           "crash: failover recovery, rebalance cost, no silent drops")
+def run_cluster_failover(seed: int) -> LedgerEntry:
+    from repro.resilience import FaultPlan
+
+    plan = FaultPlan(seed=seed, crash_replicas=(1,),
+                     crash_after_batches=2)
+    return _cluster_entry("cluster_failover", "hash-affinity", seed,
+                          fault_plan=plan)
+
+
+# ---------------------------------------------------------------------------
 # kernels: analytic kernel-plan costs + memsim counters (Fig. 4-6 shapes)
 # ---------------------------------------------------------------------------
 

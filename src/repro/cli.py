@@ -9,6 +9,8 @@ train       Train a model under a schedule; prints per-epoch history.
 compare     Baseline-vs-MEGA epoch time and convergence summary.
 serve       Serve a dataset's test split through the inference server.
 loadtest    Seeded Poisson/bursty load test; prints SLO metrics.
+cluster     Multi-replica loadtest: routing policies, tiered cache,
+            seeded replica crashes and failover.
 bench       Benchmark harness: run/compare/list BENCH_*.json ledgers.
 
 Exit codes: 0 on success, 2 on any :class:`~repro.errors.ReproError`
@@ -31,6 +33,9 @@ from repro.errors import ReproError
 DATASETS = ["ZINC", "AQSOL", "CSL", "CYCLES"]
 MODELS = ["GCN", "GT", "GAT"]
 METHODS = ["baseline", "mega", "global"]
+# Keep in sync with repro.cluster.routing.POLICIES (asserted by the
+# cluster CLI tests); listed here so --help needs no heavy imports.
+CLUSTER_POLICIES = ["hash-affinity", "least-queue", "round-robin"]
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -224,33 +229,84 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                         help="print full ServerStats as JSON")
 
 
-def _build_server(args: argparse.Namespace):
-    """(LoadedModel, InferenceServer) from parsed serve/loadtest args."""
-    from repro.pipeline import ScheduleCache
-    from repro.serve import (
-        BatchingPolicy,
-        InferenceServer,
-        ModelRegistry,
-        ModelSpec,
-        ServerConfig,
-    )
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--replicas", type=int, default=3,
+                        help="serving replicas in the fleet")
+    parser.add_argument("--policy", default="hash-affinity",
+                        choices=CLUSTER_POLICIES,
+                        help="load-balance policy")
+    parser.add_argument("--vnodes", type=int, default=64,
+                        help="virtual nodes per replica on the hash ring")
+    parser.add_argument("--crash-replica", type=int, action="append",
+                        default=None, metavar="ID",
+                        help="pin this replica to crash (repeatable)")
+    parser.add_argument("--crash-after", type=int, default=0,
+                        help="batch launches a pinned replica survives "
+                             "before crashing")
+    parser.add_argument("--replica-failure-rate", type=float, default=0.0,
+                        help="seeded per-batch-launch crash probability "
+                             "for unpinned replicas")
+
+
+def _load_cli_model(args: argparse.Namespace):
+    """The registry-loaded model the serve/cluster commands share."""
+    from repro.serve import ModelRegistry, ModelSpec
 
     registry = ModelRegistry()
     registry.register("cli", ModelSpec(
         model=args.model, dataset=args.dataset, scale=args.scale,
         hidden_dim=args.hidden_dim, num_layers=args.layers,
         checkpoint=args.checkpoint))
-    loaded = registry.load("cli")
+    return registry.load("cli")
+
+
+def _server_config(args: argparse.Namespace):
+    from repro.serve import BatchingPolicy, ServerConfig
+
+    return ServerConfig(
+        queue_capacity=args.capacity,
+        policy=BatchingPolicy(max_batch_size=args.max_batch,
+                              max_wait_s=args.max_wait,
+                              bucket_width=args.bucket_width))
+
+
+def _build_server(args: argparse.Namespace):
+    """(LoadedModel, InferenceServer) from parsed serve/loadtest args."""
+    from repro.pipeline import ScheduleCache
+    from repro.serve import InferenceServer
+
+    loaded = _load_cli_model(args)
     cache_dir = _resolve_cache_dir(args)
     cache = ScheduleCache(cache_dir) if cache_dir is not None else None
-    server = InferenceServer(
-        loaded.model, cache=cache,
-        config=ServerConfig(
-            queue_capacity=args.capacity,
-            policy=BatchingPolicy(max_batch_size=args.max_batch,
-                                  max_wait_s=args.max_wait,
-                                  bucket_width=args.bucket_width)))
+    server = InferenceServer(loaded.model, cache=cache,
+                             config=_server_config(args))
     return loaded, server
+
+
+def _build_cluster(args: argparse.Namespace):
+    """(LoadedModel, Cluster) from parsed cluster/loadtest args."""
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.pipeline import ScheduleCache
+    from repro.resilience import FaultPlan
+
+    loaded = _load_cli_model(args)
+    cache_dir = _resolve_cache_dir(args)
+    cache = ScheduleCache(cache_dir) if cache_dir is not None else None
+    crash = tuple(getattr(args, "crash_replica", None) or ())
+    rate = getattr(args, "replica_failure_rate", 0.0)
+    fault_plan = None
+    if crash or rate > 0.0:
+        fault_plan = FaultPlan(
+            seed=args.seed, replica_failure_rate=rate,
+            crash_replicas=crash,
+            crash_after_batches=getattr(args, "crash_after", 0))
+    cluster = Cluster(
+        loaded.model, cache=cache, fault_plan=fault_plan,
+        config=ClusterConfig(num_replicas=args.replicas,
+                             policy=args.policy,
+                             vnodes=getattr(args, "vnodes", 64),
+                             server=_server_config(args)))
+    return loaded, cluster
 
 
 def _print_serve_report(stats, as_json: bool) -> None:
@@ -271,6 +327,32 @@ def _print_serve_report(stats, as_json: bool) -> None:
     print(f"  schedule cache: {stats.cache.hits} hits / "
           f"{stats.cache.misses} misses "
           f"(hit rate {stats.schedule_hit_rate:.2f})")
+
+
+def _print_cluster_report(stats, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(stats.as_dict(), sort_keys=True, indent=2))
+        return
+    print(stats.summary_line())
+    print(f"  p50/p95/p99 latency: {stats.p50_latency_s * 1e3:.3f} / "
+          f"{stats.p95_latency_s * 1e3:.3f} / "
+          f"{stats.p99_latency_s * 1e3:.3f} ms")
+    print(f"  throughput: {stats.throughput_rps:.1f} req/s over "
+          f"{stats.sim_duration_s:.4f} simulated s")
+    print(f"  schedule cache: L1 {stats.tier.l1_hits} / "
+          f"L2 {stats.tier.l2_hits} hits / {stats.tier.misses} misses "
+          f"(L1 rate {stats.tier.l1_hit_rate:.2f})")
+    if stats.crashed_replicas:
+        print(f"  failover: {stats.crashed_replicas} replica(s) crashed, "
+              f"{stats.failovers} requests re-routed, "
+              f"{stats.rebalanced_arcs} ring arcs rebalanced, "
+              f"{stats.failed} failed")
+    for rec in stats.replicas:
+        fate = (f"CRASHED at {rec.crashed_at_s * 1e3:.2f} ms"
+                if rec.crashed else "ok")
+        print(f"  replica {rec.replica_id}: {rec.stats.served} served, "
+              f"{len(rec.stats.batches)} batches, "
+              f"L1 {rec.tier.l1_hits}/{rec.tier.lookups} — {fate}")
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -305,7 +387,11 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.resilience import RetryPolicy
     from repro.serve import ArrivalProcess, generate_requests
 
-    loaded, server = _build_server(args)
+    clustered = args.replicas > 1
+    if clustered:
+        loaded, target = _build_cluster(args)
+    else:
+        loaded, target = _build_server(args)
     pool = loaded.dataset.test[:args.pool]
     process = ArrivalProcess(kind=args.process, rate_rps=args.rate,
                              seed=args.seed,
@@ -314,12 +400,40 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     requests = generate_requests(pool, args.requests, process)
     retry = (RetryPolicy(max_attempts=args.retries)
              if args.retries > 0 else None)
-    result = server.run(requests, retry_policy=retry)
+    result = target.run(requests, retry_policy=retry)
     if not args.json:
+        where = (f"{args.replicas} replicas ({args.policy})"
+                 if clustered else "1 server")
         print(f"loadtest: {args.requests} requests, {args.process} "
               f"arrivals at {args.rate:.0f} req/s (seed {args.seed}), "
-              f"pool of {len(pool)} graphs")
-    _print_serve_report(result.stats, args.json)
+              f"pool of {len(pool)} graphs, {where}")
+    if clustered:
+        _print_cluster_report(result.stats, args.json)
+    else:
+        _print_serve_report(result.stats, args.json)
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.resilience import RetryPolicy
+    from repro.serve import ArrivalProcess, generate_requests
+
+    loaded, cluster = _build_cluster(args)
+    pool = loaded.dataset.test[:args.pool]
+    process = ArrivalProcess(kind=args.process, rate_rps=args.rate,
+                             seed=args.seed,
+                             burst_factor=args.burst_factor,
+                             burst_len=args.burst_len)
+    requests = generate_requests(pool, args.requests, process)
+    retry = (RetryPolicy(max_attempts=args.retries)
+             if args.retries > 0 else None)
+    result = cluster.run(requests, retry_policy=retry)
+    if not args.json:
+        print(f"cluster loadtest: {args.requests} requests, "
+              f"{args.process} arrivals at {args.rate:.0f} req/s "
+              f"(seed {args.seed}), pool of {len(pool)} graphs, "
+              f"{args.replicas} replicas ({args.policy})")
+    _print_cluster_report(result.stats, args.json)
     return 0
 
 
@@ -419,7 +533,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=3,
                    help="client retry attempts on rejection "
                         "(0 = drop immediately)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="serve through a cluster of N replicas "
+                        "(1 = single server)")
+    p.add_argument("--policy", default="hash-affinity",
+                   choices=CLUSTER_POLICIES,
+                   help="cluster load-balance policy (with --replicas > 1)")
     p.set_defaults(func=cmd_loadtest)
+
+    p = sub.add_parser("cluster",
+                       help="multi-replica loadtest with routing, "
+                            "tiered cache and seeded failover")
+    _add_dataset_args(p)
+    _add_serve_args(p)
+    _add_cluster_args(p)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--rate", type=float, default=400.0,
+                   help="mean arrival rate (requests per simulated s)")
+    p.add_argument("--process", default="poisson",
+                   choices=["poisson", "bursty"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pool", type=int, default=16,
+                   help="distinct graphs in the request pool")
+    p.add_argument("--burst-factor", type=float, default=6.0)
+    p.add_argument("--burst-len", type=int, default=16)
+    p.add_argument("--retries", type=int, default=3,
+                   help="retry budget per request: rejections and "
+                        "failovers (0 = fail immediately)")
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("bench",
                        help="benchmark harness: run/compare/list "

@@ -1,0 +1,301 @@
+"""The cluster: N serving replicas behind a router, on one clock.
+
+This is the horizontal-scale counterpart of :class:`repro.serve.server
+.InferenceServer`: the same event-loop skeleton (a heap of
+``(time, seq, kind, payload)`` events in simulated time), but the
+serving state is N :class:`~repro.serve.server.ServerEngine` replicas
+sharing a single :class:`~repro.train.clock.SimulatedClock`, fronted
+by a router that picks a replica per request (see
+:mod:`repro.cluster.routing`) and a two-tier schedule cache (see
+:mod:`repro.cluster.cache`).
+
+Failure model — deliberately simple so every path is testable:
+
+* A replica crash fires **at a batch-launch instant** (the replica is
+  idle and about to execute), decided by
+  :meth:`repro.resilience.FaultPlan.replica_fails` on
+  ``(replica_id, batch_index)``.  Nothing is ever lost mid-execution,
+  so no completion events need cancelling — the crash's blast radius
+  is exactly the replica's queue.
+* A crash is **permanent for the run**.  The replica leaves the alive
+  set, its ring arcs move to the clockwise successors
+  (``rebalanced_arcs``), and its evacuated queue re-enters the router
+  under the client :class:`~repro.resilience.RetryPolicy` — counted as
+  ``failovers``, or as typed failures once the budget is spent.
+* **No silent drops.**  Every request ends served or as a
+  :class:`~repro.cluster.stats.FailedRequest`;
+  :meth:`ClusterResult.response_for` raises a
+  :class:`~repro.errors.ClusterError` for the latter.
+
+With one replica, no faults and the same server knobs, the loop below
+reduces to the single-node loop event for event — the degeneracy test
+in ``tests/cluster/test_cluster.py`` holds the two stats surfaces
+equal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import MegaConfig
+from repro.cluster.cache import ReplicaScheduleView, TieredScheduleCache
+from repro.cluster.routing import HashRing, make_policy
+from repro.cluster.stats import ClusterStats, FailedRequest, ReplicaRecord
+from repro.errors import ClusterError, QueueFullError, ServeError
+from repro.memsim.device import DeviceSpec, GTX_1080
+from repro.models.base import GNNModel
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.hashing import schedule_cache_key
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.serve.queueing import InferenceRequest, InferenceResponse
+from repro.serve.server import ServerConfig, ServerEngine
+from repro.train.clock import SimulatedClock
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Fleet shape and routing knobs.
+
+    Attributes
+    ----------
+    num_replicas:
+        Serving replicas (>= 1); each gets its own
+        :class:`~repro.serve.server.ServerEngine` with ``server``'s
+        knobs.
+    policy:
+        Load-balance policy name (:data:`repro.cluster.routing
+        .POLICIES`).
+    vnodes:
+        Virtual nodes per replica on the consistent-hash ring.
+    server:
+        Per-replica serving configuration (queue bound, batching,
+        miss penalty).
+    """
+
+    num_replicas: int = 2
+    policy: str = "hash-affinity"
+    vnodes: int = 64
+    server: ServerConfig = field(default_factory=ServerConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 1:
+            raise ClusterError(
+                f"num_replicas must be >= 1, got {self.num_replicas}")
+        if self.vnodes < 1:
+            raise ClusterError(f"vnodes must be >= 1, got {self.vnodes}")
+        # Fail on an unknown policy at configuration time, not mid-run.
+        make_policy(self.policy)
+
+
+@dataclass
+class ClusterResult:
+    """Everything one :meth:`Cluster.run` call produced."""
+
+    responses: List[InferenceResponse]
+    stats: ClusterStats
+
+    def response_for(self, request_id: int) -> InferenceResponse:
+        """The response for ``request_id``; typed error if it failed."""
+        for resp in self.responses:
+            if resp.request_id == request_id:
+                return resp
+        for failure in self.stats.failures:
+            if failure.request_id == request_id:
+                raise ClusterError(
+                    f"request {failure.request_id} failed after "
+                    f"{failure.attempts} attempt(s): {failure.reason}")
+        raise ClusterError(f"no response for request {request_id} "
+                           "(never submitted)")
+
+
+class Cluster:
+    """N-replica inference cluster over one loaded model.
+
+    All replicas serve the same model (inference is stateless, so the
+    weights are shared, not copied) and share one simulated clock and
+    one L2 schedule tier; ``cache`` optionally backs that tier with an
+    on-disk :class:`~repro.pipeline.cache.ScheduleCache`.
+    ``fault_plan`` drives seeded replica crashes; the default plan
+    injects nothing.
+    """
+
+    def __init__(self, model: GNNModel, config: Optional[ClusterConfig]
+                 = None,
+                 mega_config: Optional[MegaConfig] = None,
+                 cache: Optional[ScheduleCache] = None,
+                 clock: Optional[SimulatedClock] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 device_spec: DeviceSpec = GTX_1080):
+        self.model = model
+        self.model.eval()
+        self.config = config or ClusterConfig()
+        self.mega_config = mega_config or MegaConfig()
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.fault_plan = fault_plan
+        self.device_spec = device_spec
+        self.tiered = TieredScheduleCache(self.mega_config, backing=cache)
+
+    # ------------------------------------------------------------------
+    def run(self, requests: List[InferenceRequest],
+            retry_policy: Optional[RetryPolicy] = None) -> ClusterResult:
+        """Serve a request stream across the fleet to completion.
+
+        ``retry_policy`` bounds both client-side retries after
+        queue-full rejections and failover re-routing after replica
+        crashes; ``None`` means one attempt — rejections and
+        evacuations fail immediately (still recorded, never silent).
+        """
+        cfg = self.config
+        policy = make_policy(cfg.policy)
+        replica_ids = list(range(cfg.num_replicas))
+        ring = HashRing(replica_ids, vnodes=cfg.vnodes)
+        views: Dict[int, ReplicaScheduleView] = {
+            rid: self.tiered.view(rid) for rid in replica_ids}
+        engines: Dict[int, ServerEngine] = {
+            rid: ServerEngine(self.model, cfg.server, views[rid],
+                              device_spec=self.device_spec)
+            for rid in replica_ids}
+        alive: Set[int] = set(replica_ids)
+        crashed_at: Dict[int, float] = {}
+
+        stats = ClusterStats(policy=cfg.policy,
+                             num_replicas=cfg.num_replicas,
+                             vnodes=cfg.vnodes,
+                             received=len(requests))
+        responses: List[InferenceResponse] = []
+
+        # (time, tiebreak_seq, kind, payload); kinds: "arrive" carries a
+        # request, "done" carries (replica_id, responses).
+        events: List[Tuple[float, int, str, object]] = []
+        seq = 0
+        arrivals_pending = 0
+        for request in requests:
+            heapq.heappush(events,
+                           (request.submitted_s, seq, "arrive", request))
+            seq += 1
+            arrivals_pending += 1
+
+        def push_arrival(request: InferenceRequest) -> None:
+            nonlocal seq, arrivals_pending
+            heapq.heappush(events,
+                           (request.submitted_s, seq, "arrive", request))
+            seq += 1
+            arrivals_pending += 1
+
+        def fail(request: InferenceRequest, reason: str,
+                 now_s: float) -> None:
+            stats.failed += 1
+            stats.failures.append(FailedRequest(
+                request_id=request.request_id,
+                attempts=request.attempt + 1,
+                reason=reason, failed_s=now_s))
+
+        def crash_replica(rid: int, now_s: float) -> None:
+            alive.discard(rid)
+            crashed_at[rid] = now_s
+            stats.crashed_replicas += 1
+            stats.rebalanced_arcs += ring.remove(rid)
+            for request in engines[rid].evacuate():
+                if (retry_policy is not None
+                        and request.attempt + 1 < retry_policy.max_attempts):
+                    stats.failovers += 1
+                    push_arrival(request.retry(
+                        now_s + retry_policy.delay(request.attempt)))
+                else:
+                    fail(request, "replica-crash", now_s)
+
+        def dispatch(request: InferenceRequest, now_s: float) -> None:
+            if not alive:
+                fail(request, "no-replicas-alive", now_s)
+                return
+            content_key = schedule_cache_key(request.graph, self.mega_config)
+            loads = tuple((rid, engines[rid].load)
+                          for rid in sorted(alive))
+            rid = policy.choose(content_key, loads, ring)
+            engine = engines[rid]
+            if request.attempt == 0:
+                engine.stats.received += 1
+            try:
+                engine.admit(request, now_s)
+            except QueueFullError as exc:
+                if (retry_policy is not None
+                        and request.attempt + 1 < retry_policy.max_attempts):
+                    delay = max(exc.retry_after_s,
+                                retry_policy.delay(request.attempt))
+                    stats.retried += 1
+                    push_arrival(request.retry(now_s + delay))
+                else:
+                    fail(request, "retry-budget-exhausted", now_s)
+
+        while events or any(engines[rid].depth > 0 for rid in alive):
+            now_s = self.clock.now()
+            progressed = False
+            for rid in sorted(alive):
+                engine = engines[rid]
+                if not (engine.idle and engine.depth > 0):
+                    continue
+                plan = engine.select(now_s, draining=arrivals_pending == 0)
+                if plan is None:
+                    continue
+                if (self.fault_plan is not None
+                        and self.fault_plan.replica_fails(
+                            rid, len(engine.stats.batches))):
+                    crash_replica(rid, now_s)
+                else:
+                    done_s, batch_responses = engine.launch(plan, now_s)
+                    heapq.heappush(
+                        events, (done_s, seq, "done", (rid, batch_responses)))
+                    seq += 1
+                # Either way the fleet state changed; rescan from the
+                # lowest id so launch order stays deterministic.
+                progressed = True
+                break
+            if progressed:
+                continue
+            deadlines = [d for d in (engines[rid].flush_deadline()
+                                     for rid in sorted(alive))
+                         if d is not None]
+            deadline = min(deadlines) if deadlines else None
+            next_event_s = events[0][0] if events else None
+            if next_event_s is None or (deadline is not None
+                                        and deadline <= next_event_s):
+                if deadline is None:
+                    raise ClusterError(
+                        "event loop stalled: queued requests but no events")
+                if deadline <= now_s:
+                    # A reached deadline must have made its bucket
+                    # ripe; anything else would spin forever.
+                    raise ServeError(
+                        "batcher refused to flush at its own deadline")
+                self.clock.advance_to(deadline)
+                continue
+            t_s, _, kind, payload = heapq.heappop(events)
+            self.clock.advance_to(t_s)
+            if kind == "arrive":
+                arrivals_pending -= 1
+                dispatch(payload, self.clock.now())
+            else:
+                rid, batch_responses = payload
+                engines[rid].complete(batch_responses, self.clock.now())
+                responses.extend(batch_responses)
+                for response in batch_responses:
+                    stats.served += 1
+                    stats.latencies_s.append(response.latency_s)
+                stats.sim_duration_s = max(stats.sim_duration_s,
+                                           self.clock.now())
+
+        for rid in replica_ids:
+            replica_stats = engines[rid].finish()
+            stats.attempts += replica_stats.attempts
+            stats.admitted += replica_stats.admitted
+            stats.rejected += replica_stats.rejected
+            stats.replicas.append(ReplicaRecord(
+                replica_id=rid,
+                crashed=rid in crashed_at,
+                crashed_at_s=crashed_at.get(rid, -1.0),
+                stats=replica_stats,
+                tier=views[rid].tier))
+        stats.tier = self.tiered.tier
+        return ClusterResult(responses=responses, stats=stats)

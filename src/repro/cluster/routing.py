@@ -1,0 +1,174 @@
+"""Request routing: the consistent-hash ring and load-balance policies.
+
+The router's job is to turn one stream of requests into N per-replica
+streams without ever consulting a random number generator or the wall
+clock.  Two deterministic primitives do all the work:
+
+* :class:`HashRing` — consistent hashing with virtual nodes.  Every
+  replica owns ``vnodes`` points on a 64-bit ring (SHA-256 of
+  ``"vnode:<replica>:<v>"``); a request's schedule-cache key (already a
+  SHA-256 hex digest, see :func:`repro.pipeline.hashing
+  .schedule_cache_key`) lands at a point and walks clockwise to the
+  first replica point.  Removing a crashed replica hands exactly its
+  arcs to the clockwise successors — everyone else's keys stay put,
+  which is what keeps replica-local cache state warm across a failover.
+* :class:`LoadBalancePolicy` — the pluggable choice among alive
+  replicas.  ``round-robin`` ignores content, ``hash-affinity`` follows
+  the ring (repeat graphs revisit their replica and hit its L1 cache),
+  ``least-queue`` follows instantaneous load.  All three see the same
+  inputs: the request's content key and the alive replicas with their
+  current load.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple, Type
+
+from repro.errors import ClusterError
+
+#: Hex digits of the content key folded into a 64-bit ring position.
+_RING_HEX_DIGITS = 16
+
+
+class HashRing:
+    """Consistent hashing over replica ids with virtual nodes.
+
+    ``vnodes`` points per replica smooth the arc distribution; 64 keeps
+    the largest/smallest ownership ratio close to 1 for small fleets
+    without making ring maintenance measurable.
+    """
+
+    def __init__(self, replica_ids: Sequence[int], vnodes: int = 64):
+        if vnodes < 1:
+            raise ClusterError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, int]] = []
+        for rid in replica_ids:
+            for v in range(vnodes):
+                bisect.insort(self._points, (self._point(rid, v), rid))
+
+    @staticmethod
+    def _point(replica_id: int, vnode: int) -> int:
+        token = f"vnode:{replica_id}:{vnode}".encode()
+        return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def replica_ids(self) -> Tuple[int, ...]:
+        """Replicas currently on the ring, ascending."""
+        return tuple(sorted({rid for _, rid in self._points}))
+
+    def remove(self, replica_id: int) -> int:
+        """Drop a replica's points; returns the number of arcs moved.
+
+        Each removed point hands its arc to the clockwise successor, so
+        the return value is the failover's rebalance cost — the
+        ``rebalanced_arcs`` counter in :class:`~repro.cluster.stats
+        .ClusterStats`.
+        """
+        before = len(self._points)
+        self._points = [(p, r) for p, r in self._points if r != replica_id]
+        return before - len(self._points)
+
+    def route(self, key: str) -> int:
+        """Replica owning ``key`` (a hex content digest)."""
+        if not self._points:
+            raise ClusterError("routing on an empty ring (no replicas)")
+        h = int(key[:_RING_HEX_DIGITS], 16)
+        i = bisect.bisect_left(self._points, (h, -1))
+        if i == len(self._points):
+            i = 0
+        return self._points[i][1]
+
+
+class LoadBalancePolicy:
+    """Strategy interface: pick an alive replica for one request.
+
+    ``choose`` receives the request's content key, the alive replicas
+    as ``(replica_id, load)`` pairs sorted by id (load = queued plus
+    in-flight requests), and the ring (already pruned of crashed
+    replicas).  Policies may keep internal state (round-robin's
+    cursor); that state must be a pure function of the choose-call
+    sequence so replays stay byte-identical.
+    """
+
+    name = "abstract"
+
+    def choose(self, key: str, alive: Sequence[Tuple[int, int]],
+               ring: HashRing) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def _require_alive(alive: Sequence[Tuple[int, int]]) -> None:
+        if not alive:
+            raise ClusterError("no alive replicas to route to")
+
+
+class RoundRobinPolicy(LoadBalancePolicy):
+    """Cycle through alive replicas in id order, content-blind.
+
+    The cursor advances once per routed request and indexes into the
+    *current* alive set, so a failover simply shortens the cycle.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, key: str, alive: Sequence[Tuple[int, int]],
+               ring: HashRing) -> int:
+        self._require_alive(alive)
+        rid = alive[self._cursor % len(alive)][0]
+        self._cursor += 1
+        return rid
+
+
+class HashAffinityPolicy(LoadBalancePolicy):
+    """Follow the consistent-hash ring: same graph, same replica.
+
+    This is the cache-aware policy — repeat graphs land where their
+    schedule is already in the replica-local L1 tier, so its L1 hit
+    rate dominates round-robin's on repeat-heavy traffic (the
+    ``BENCH_cluster.json`` acceptance check).
+    """
+
+    name = "hash-affinity"
+
+    def choose(self, key: str, alive: Sequence[Tuple[int, int]],
+               ring: HashRing) -> int:
+        self._require_alive(alive)
+        return ring.route(key)
+
+
+class LeastQueuePolicy(LoadBalancePolicy):
+    """Send to the least-loaded replica, ties broken by lowest id."""
+
+    name = "least-queue"
+
+    def choose(self, key: str, alive: Sequence[Tuple[int, int]],
+               ring: HashRing) -> int:
+        self._require_alive(alive)
+        return min(alive, key=lambda pair: (pair[1], pair[0]))[0]
+
+
+#: Registered policies, keyed by CLI/bench name.
+POLICIES: Dict[str, Type[LoadBalancePolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    HashAffinityPolicy.name: HashAffinityPolicy,
+    LeastQueuePolicy.name: LeastQueuePolicy,
+}
+
+
+def make_policy(name: str) -> LoadBalancePolicy:
+    """Fresh policy instance for ``name``; :class:`ClusterError` if unknown."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ClusterError(
+            f"unknown load-balance policy {name!r}; "
+            f"one of {sorted(POLICIES)}") from None

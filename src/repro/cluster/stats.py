@@ -1,0 +1,220 @@
+"""Fleet-level SLO accounting for the serving cluster.
+
+:class:`ClusterStats` is to :class:`~repro.serve.stats.ServerStats`
+what the fleet is to one replica: per-replica stats are kept whole
+(one :class:`ReplicaRecord` each) and the fleet view is derived —
+latency percentiles over the *global* completion stream, aggregate
+throughput, per-tier cache hit rates, failover and rebalance counts.
+``as_dict()`` is the byte-identical replay surface, same contract as
+serve and bench: simulated time and integer counters only, wall-clock
+never appears (enforced by megalint MEGA011).
+
+Counter identities (asserted by the failover tests)::
+
+    received == served + failed          # no silent drops
+    attempts == admitted + rejected      # summed over replicas
+
+Every request the cluster could not serve is a :class:`FailedRequest`
+with a reason — ``retry-budget-exhausted``, ``replica-crash`` or
+``no-replicas-alive`` — and resolves to a typed
+:class:`~repro.errors.ClusterError` when its response is demanded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cluster.cache import TierStats
+from repro.serve.stats import ServerStats
+
+#: The closed set of per-request failure reasons.
+FAILURE_REASONS = ("retry-budget-exhausted", "replica-crash",
+                   "no-replicas-alive")
+
+
+@dataclass(frozen=True)
+class FailedRequest:
+    """One request the cluster gave up on — loudly.
+
+    ``attempts`` counts admission attempts made before giving up;
+    ``reason`` is one of :data:`FAILURE_REASONS`; ``failed_s`` the
+    simulated time of the final verdict.
+    """
+
+    request_id: int
+    attempts: int
+    reason: str
+    failed_s: float
+
+
+@dataclass
+class ReplicaRecord:
+    """One replica's complete run: serve stats, tier stats, fate.
+
+    ``crashed_at_s`` is ``-1.0`` for survivors.  ``stats.received``
+    counts first-time routings to this replica (retries and failovers
+    re-route but do not re-count), so per-replica ``received`` sums to
+    the fleet's.
+    """
+
+    replica_id: int
+    crashed: bool
+    crashed_at_s: float
+    stats: ServerStats
+    tier: TierStats
+
+    def as_dict(self) -> Dict:
+        return {"replica_id": self.replica_id,
+                "crashed": self.crashed,
+                "crashed_at_s": self.crashed_at_s,
+                "stats": self.stats.as_dict(),
+                "tier": self.tier.as_dict()}
+
+
+@dataclass
+class ClusterStats:
+    """Everything observable about one clustered serving run.
+
+    Attributes
+    ----------
+    policy / num_replicas / vnodes:
+        The routing configuration the run used.
+    received:
+        Distinct requests submitted to the router.
+    attempts / admitted / rejected:
+        Admission counters summed over replicas (retries included).
+    retried:
+        Client re-submissions after queue-full rejections.
+    failovers:
+        Requests evacuated from a crashed replica and re-routed.
+    failed:
+        Requests that ended as a :class:`FailedRequest`.
+    served:
+        Requests completed with a prediction.
+    crashed_replicas:
+        Replicas lost during the run.
+    rebalanced_arcs:
+        Hash-ring arcs handed to successors across all failovers.
+    sim_duration_s:
+        Simulated time of the last completion (0 when nothing served).
+    latencies_s:
+        Per-request latency in *global* completion order — the fleet
+        percentile surface.
+    failures:
+        One record per unserved request (no silent drops).
+    replicas:
+        Per-replica records, ascending id, crashed included.
+    tier:
+        Fleet-wide per-tier cache attribution.
+    """
+
+    policy: str = "hash-affinity"
+    num_replicas: int = 0
+    vnodes: int = 0
+    received: int = 0
+    attempts: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    retried: int = 0
+    failovers: int = 0
+    failed: int = 0
+    served: int = 0
+    crashed_replicas: int = 0
+    rebalanced_arcs: int = 0
+    sim_duration_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+    failures: List[FailedRequest] = field(default_factory=list)
+    replicas: List[ReplicaRecord] = field(default_factory=list)
+    tier: TierStats = field(default_factory=TierStats)
+
+    # ------------------------------------------------------------------
+    # Fleet SLO metrics
+    # ------------------------------------------------------------------
+    def latency_percentile(self, q: float) -> float:
+        """Fleet latency percentile ``q``; 0.0 with no completions."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Served requests per simulated second, fleet-wide."""
+        if self.sim_duration_s <= 0.0:
+            return 0.0
+        return self.served / self.sim_duration_s
+
+    @property
+    def num_batches(self) -> int:
+        return sum(len(r.stats.batches) for r in self.replicas)
+
+    @property
+    def alive_replicas(self) -> int:
+        return self.num_replicas - self.crashed_replicas
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.tier.l1_hit_rate
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.tier.l2_hit_rate
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        """Plain-type dict (JSON-ready); the replay gate's byte surface."""
+        return {
+            "policy": self.policy,
+            "num_replicas": self.num_replicas,
+            "vnodes": self.vnodes,
+            "received": self.received,
+            "attempts": self.attempts,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "retried": self.retried,
+            "failovers": self.failovers,
+            "failed": self.failed,
+            "served": self.served,
+            "crashed_replicas": self.crashed_replicas,
+            "rebalanced_arcs": self.rebalanced_arcs,
+            "sim_duration_s": self.sim_duration_s,
+            "latencies_s": list(self.latencies_s),
+            "failures": [asdict(f) for f in self.failures],
+            "replicas": [r.as_dict() for r in self.replicas],
+            "tier": self.tier.as_dict(),
+        }
+
+    def summary_line(self) -> str:
+        """One-line report for CLI output."""
+        line = (f"cluster[{self.policy}]: "
+                f"{self.served}/{self.received} served on "
+                f"{self.alive_replicas}/{self.num_replicas} replicas "
+                f"({self.rejected} rejected, {self.failed} failed), "
+                f"{self.num_batches} batches, "
+                f"p50/p95/p99 {self.p50_latency_s * 1e3:.2f}/"
+                f"{self.p95_latency_s * 1e3:.2f}/"
+                f"{self.p99_latency_s * 1e3:.2f} ms, "
+                f"{self.throughput_rps:.1f} req/s, "
+                f"schedule-cache L1 {self.tier.l1_hits} / "
+                f"L2 {self.tier.l2_hits} / {self.tier.misses} misses")
+        if self.crashed_replicas:
+            line += (f", {self.crashed_replicas} crashed "
+                     f"({self.failovers} failovers, "
+                     f"{self.rebalanced_arcs} arcs rebalanced)")
+        return line

@@ -60,6 +60,17 @@ class BenchError(ReproError):
     """
 
 
+class ClusterError(ServeError):
+    """Raised by the sharded serving cluster (``repro.cluster``).
+
+    Covers invalid cluster configuration, routing against an empty
+    replica set, and the per-request failure surface: a request whose
+    retry budget is exhausted — by queue-full rejections or replica
+    crashes — is reported through a :class:`ClusterError`, never
+    silently dropped.
+    """
+
+
 class QueueFullError(ServeError):
     """Admission rejected because the request queue is at capacity.
 

@@ -70,6 +70,18 @@ class FaultPlan:
     node_failure_rate:
         Probability that a simulated device fails in a given
         aggregation round (see :mod:`repro.distributed.failures`).
+    replica_failure_rate:
+        Probability that a serving-cluster replica crashes at a given
+        batch launch (see :mod:`repro.cluster`).  Replica crashes are
+        *permanent for the run* — the router fails the replica over,
+        so boundedness comes from the surviving replicas, not from
+        ``max_faults_per_site``.
+    crash_replicas:
+        Replica ids pinned to crash deterministically (the failover
+        tests' precise trigger), independent of the rate.
+    crash_after_batches:
+        Batch-launch index at which a pinned replica crashes (0 means
+        before serving anything).
     max_faults_per_site:
         Attempts ``>=`` this index never fault, bounding transient
         faults so default retry policies always recover.
@@ -83,19 +95,27 @@ class FaultPlan:
     poison_graphs: Tuple[int, ...] = field(default_factory=tuple)
     break_pool_chunk: int = -1
     node_failure_rate: float = 0.0
+    replica_failure_rate: float = 0.0
+    crash_replicas: Tuple[int, ...] = field(default_factory=tuple)
+    crash_after_batches: int = 0
     max_faults_per_site: int = 2
 
     def __post_init__(self) -> None:
         for name in ("worker_crash_rate", "io_error_rate",
-                     "cache_corrupt_rate", "node_failure_rate"):
+                     "cache_corrupt_rate", "node_failure_rate",
+                     "replica_failure_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(f"{name} must be in [0, 1], got {rate}")
         if self.max_faults_per_site < 0:
             raise ConfigError("max_faults_per_site must be >= 0")
+        if self.crash_after_batches < 0:
+            raise ConfigError("crash_after_batches must be >= 0")
         # Tolerate lists from JSON round-trips.
         object.__setattr__(self, "nan_epochs", tuple(self.nan_epochs))
         object.__setattr__(self, "poison_graphs", tuple(self.poison_graphs))
+        object.__setattr__(self, "crash_replicas",
+                           tuple(self.crash_replicas))
 
     # ------------------------------------------------------------------
     # The deterministic coin
@@ -145,6 +165,22 @@ class FaultPlan:
         """Does device ``rank`` fail during aggregation ``round_index``?"""
         return (self.roll("node", round_index, rank)
                 < self.node_failure_rate)
+
+    def replica_fails(self, replica_id: int, batch_index: int) -> bool:
+        """Does serving replica ``replica_id`` crash when launching its
+        ``batch_index``-th micro-batch?
+
+        Pinned replicas (``crash_replicas``) crash deterministically
+        once ``batch_index`` reaches ``crash_after_batches``; everyone
+        else rolls against ``replica_failure_rate``.  A crash is
+        permanent for the run — the cluster router re-routes the
+        replica's work instead of retrying the replica.
+        """
+        if (replica_id in self.crash_replicas
+                and batch_index >= self.crash_after_batches):
+            return True
+        return (self.roll("replica", replica_id, batch_index)
+                < self.replica_failure_rate)
 
     def crash(self, site: str, *coords) -> None:
         """Raise the canonical injected (transient) fault for a site."""

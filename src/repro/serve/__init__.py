@@ -44,6 +44,7 @@ from repro.serve.server import (
     ScheduleStore,
     ServeResult,
     ServerConfig,
+    ServerEngine,
 )
 from repro.serve.stats import BatchRecord, ServerStats
 
@@ -65,6 +66,7 @@ __all__ = [
     "ScheduleStore",
     "ServeResult",
     "ServerConfig",
+    "ServerEngine",
     "BatchRecord",
     "ServerStats",
 ]

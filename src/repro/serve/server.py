@@ -22,6 +22,14 @@ Three design rules keep every run replayable:
   deterministic retry-after hint; the client side re-submits under a
   :class:`repro.resilience.RetryPolicy` and gives up loudly (counted as
   ``dropped``) when the policy is exhausted.
+
+Structurally the server splits into two pieces.  :class:`ServerEngine`
+is the externally-clocked core — admission, batching, execution,
+per-replica stats — that owns **no clock and no client behaviour**:
+every method takes an explicit simulated timestamp.
+:class:`InferenceServer.run` drives one engine to completion (the
+single-node loop below); :mod:`repro.cluster` drives N engines on one
+shared clock behind a router.
 """
 
 from __future__ import annotations
@@ -146,6 +154,152 @@ class ServeResult:
                          "(rejected and dropped, or never submitted)")
 
 
+class ServerEngine:
+    """One replica's serving core, driven by an external clock.
+
+    The engine owns the bounded queue, the micro-batcher, the executor
+    and a :class:`ServerStats` — everything *local* to one serving
+    replica — but no clock, no event heap and no retry behaviour.
+    Callers pass explicit simulated timestamps:
+
+    * :meth:`admit` resolves a schedule and enqueues (or raises
+      :class:`QueueFullError` with a deterministic retry-after hint);
+    * :meth:`select` asks the batcher for a launchable plan;
+    * :meth:`launch` executes a plan and returns its completion event;
+    * :meth:`complete` retires a finished batch's responses;
+    * :meth:`evacuate` empties the queue (cluster failover).
+
+    ``store`` is anything with a ``resolve(graph) -> (path, hit)``
+    method and a ``stats`` :class:`CacheStats` — the single-node
+    :class:`ScheduleStore` or a per-replica view of the cluster's
+    two-tier cache.
+    """
+
+    def __init__(self, model: GNNModel, config: ServerConfig, store,
+                 device_spec: DeviceSpec = GTX_1080):
+        self.model = model
+        self.config = config
+        self.store = store
+        self.device_spec = device_spec
+        self.stats = ServerStats()
+        self.queue = BoundedRequestQueue(config.queue_capacity)
+        self.batcher = MicroBatcher(config.policy)
+        self.busy = False
+        self.in_flight = 0
+        self._cache_before = store.stats.as_dict()
+
+    @property
+    def idle(self) -> bool:
+        return not self.busy
+
+    @property
+    def depth(self) -> int:
+        return self.queue.depth
+
+    @property
+    def load(self) -> int:
+        """Queued plus in-flight requests — the router's balance signal."""
+        return self.queue.depth + self.in_flight
+
+    def retry_after(self) -> float:
+        """Deterministic hint: the last batch's service time."""
+        if self.stats.batches:
+            return self.stats.batches[-1].service_s
+        return self.config.retry_after_default_s
+
+    def admit(self, request: InferenceRequest, now_s: float) -> None:
+        """Enqueue ``request`` or raise :class:`QueueFullError`.
+
+        Counter order matches the historical single-server loop:
+        every attempt samples the queue depth, then either admits or
+        rejects — so the engine's stats are byte-compatible with the
+        pre-refactor server.
+        """
+        self.stats.attempts += 1
+        self.stats.queue_depth_sum += self.queue.depth
+        self.stats.queue_depth_samples += 1
+        if self.queue.full:
+            self.stats.rejected += 1
+            raise QueueFullError(
+                f"queue at capacity ({self.queue.capacity})",
+                retry_after_s=self.retry_after())
+        path, hit = self.store.resolve(request.graph)
+        self.queue.admit(QueuedRequest(request=request, admitted_s=now_s,
+                                       path=path, schedule_hit=hit))
+        self.stats.admitted += 1
+
+    def select(self, now_s: float, draining: bool) -> Optional[BatchPlan]:
+        """The plan the batcher would launch now, or ``None``."""
+        if self.busy or self.queue.depth == 0:
+            return None
+        return self.batcher.select(self.queue.entries(), now_s,
+                                   draining=draining)
+
+    def flush_deadline(self) -> Optional[float]:
+        """Earliest time a queued request forces a flush (idle only)."""
+        if self.busy or self.queue.depth == 0:
+            return None
+        return self.batcher.next_deadline(self.queue.entries())
+
+    def launch(self, plan: BatchPlan, now_s: float
+               ) -> Tuple[float, List[InferenceResponse]]:
+        """Execute ``plan``; returns (completion time, responses)."""
+        self.queue.remove(plan.entries)
+        batch = GraphBatch([e.request.graph for e in plan.entries])
+        runtime = MegaRuntime(batch, [e.path for e in plan.entries])
+        predictions = np.asarray(self.model(batch, runtime).data)
+        profiler = simulate_batch(
+            self.model.model_name, runtime, GPUDevice(self.device_spec),
+            self.model.config.hidden_dim, self.model.config.num_layers)
+        service_s = (profiler.total_time
+                     + self.config.miss_penalty_s * plan.schedule_misses)
+        batch_id = len(self.stats.batches)
+        self.stats.batches.append(BatchRecord(
+            batch_id=batch_id, launch_s=now_s, service_s=service_s,
+            size=plan.size, bucket=plan.bucket,
+            max_length=plan.max_length, padding_waste=plan.waste,
+            occupancy=plan.size / self.config.policy.max_batch_size,
+            schedule_misses=plan.schedule_misses))
+        done_s = now_s + service_s
+        responses = [InferenceResponse(
+            request_id=e.request.request_id,
+            prediction=np.array(predictions[i], copy=True),
+            submitted_s=e.request.submitted_s, completed_s=done_s,
+            batch_id=batch_id, schedule_hit=e.schedule_hit)
+            for i, e in enumerate(plan.entries)]
+        self.busy = True
+        self.in_flight = plan.size
+        return done_s, responses
+
+    def complete(self, responses: List[InferenceResponse],
+                 now_s: float) -> None:
+        """Retire one finished batch: latency accounting, idle again."""
+        self.busy = False
+        self.in_flight = 0
+        for response in responses:
+            self.stats.served += 1
+            self.stats.latencies_s.append(response.latency_s)
+        self.stats.sim_duration_s = max(self.stats.sim_duration_s, now_s)
+
+    def evacuate(self) -> List[InferenceRequest]:
+        """Empty the queue, returning the stranded requests.
+
+        The cluster's failover path: a crashed replica's queued
+        requests re-enter the router instead of dying with the queue.
+        """
+        stranded = [e.request for e in self.queue.entries()]
+        self.queue.remove(self.queue.entries())
+        return stranded
+
+    def finish(self) -> ServerStats:
+        """Seal the stats: queue high-water mark and cache delta."""
+        self.stats.max_queue_depth = self.queue.max_depth
+        after = self.store.stats.as_dict()
+        self.stats.cache = CacheStats(
+            **{k: after[k] - self._cache_before[k] for k in after})
+        return self.stats
+
+
 class InferenceServer:
     """Single-executor inference server over one loaded model."""
 
@@ -165,40 +319,6 @@ class InferenceServer:
         self.batcher = MicroBatcher(self.config.policy)
 
     # ------------------------------------------------------------------
-    def _retry_after(self, stats: ServerStats) -> float:
-        """Deterministic hint: the last batch's service time."""
-        if stats.batches:
-            return stats.batches[-1].service_s
-        return self.config.retry_after_default_s
-
-    def _execute(self, plan: BatchPlan, now_s: float,
-                 stats: ServerStats) -> Tuple[float, List[InferenceResponse]]:
-        """Run one micro-batch; returns (completion time, responses)."""
-        batch = GraphBatch([e.request.graph for e in plan.entries])
-        runtime = MegaRuntime(batch, [e.path for e in plan.entries])
-        predictions = np.asarray(self.model(batch, runtime).data)
-        profiler = simulate_batch(
-            self.model.model_name, runtime, GPUDevice(self.device_spec),
-            self.model.config.hidden_dim, self.model.config.num_layers)
-        service_s = (profiler.total_time
-                     + self.config.miss_penalty_s * plan.schedule_misses)
-        batch_id = len(stats.batches)
-        stats.batches.append(BatchRecord(
-            batch_id=batch_id, launch_s=now_s, service_s=service_s,
-            size=plan.size, bucket=plan.bucket,
-            max_length=plan.max_length, padding_waste=plan.waste,
-            occupancy=plan.size / self.config.policy.max_batch_size,
-            schedule_misses=plan.schedule_misses))
-        done_s = now_s + service_s
-        responses = [InferenceResponse(
-            request_id=e.request.request_id,
-            prediction=np.array(predictions[i], copy=True),
-            submitted_s=e.request.submitted_s, completed_s=done_s,
-            batch_id=batch_id, schedule_hit=e.schedule_hit)
-            for i, e in enumerate(plan.entries)]
-        return done_s, responses
-
-    # ------------------------------------------------------------------
     def run(self, requests: List[InferenceRequest],
             retry_policy: Optional[RetryPolicy] = None) -> ServeResult:
         """Serve a request stream to completion; returns the result.
@@ -208,10 +328,10 @@ class InferenceServer:
         until the policy's attempt budget is spent, then counted as
         dropped.  ``None`` drops rejected requests immediately.
         """
-        stats = ServerStats()
+        engine = ServerEngine(self.model, self.config, self.store,
+                              device_spec=self.device_spec)
+        stats = engine.stats
         stats.received = len(requests)
-        cache_before = self.store.stats.as_dict()
-        queue = BoundedRequestQueue(self.config.queue_capacity)
         responses: List[InferenceResponse] = []
 
         # (time, tiebreak_seq, kind, payload); kinds: "arrive", "done".
@@ -223,24 +343,12 @@ class InferenceServer:
                            (request.submitted_s, seq, "arrive", request))
             seq += 1
             arrivals_pending += 1
-        busy = False
 
         def admit(request: InferenceRequest, now_s: float) -> None:
             nonlocal seq, arrivals_pending
-            stats.attempts += 1
-            stats.queue_depth_sum += queue.depth
-            stats.queue_depth_samples += 1
             try:
-                if queue.full:
-                    raise QueueFullError(
-                        f"queue at capacity ({queue.capacity})",
-                        retry_after_s=self._retry_after(stats))
-                path, hit = self.store.resolve(request.graph)
-                queue.admit(QueuedRequest(request=request, admitted_s=now_s,
-                                          path=path, schedule_hit=hit))
-                stats.admitted += 1
+                engine.admit(request, now_s)
             except QueueFullError as exc:
-                stats.rejected += 1
                 if (retry_policy is not None
                         and request.attempt + 1 < retry_policy.max_attempts):
                     delay = max(exc.retry_after_s,
@@ -256,21 +364,17 @@ class InferenceServer:
                 else:
                     stats.dropped += 1
 
-        while events or queue.depth > 0:
+        while events or engine.depth > 0:
             now_s = self.clock.now()
-            if not busy and queue.depth > 0:
-                plan = self.batcher.select(queue.entries(), now_s,
-                                           draining=arrivals_pending == 0)
+            if engine.idle and engine.depth > 0:
+                plan = engine.select(now_s, draining=arrivals_pending == 0)
                 if plan is not None:
-                    queue.remove(plan.entries)
-                    done_s, batch_responses = self._execute(plan, now_s,
-                                                            stats)
+                    done_s, batch_responses = engine.launch(plan, now_s)
                     heapq.heappush(events,
                                    (done_s, seq, "done", batch_responses))
                     seq += 1
-                    busy = True
                     continue
-                deadline = self.batcher.next_deadline(queue.entries())
+                deadline = engine.flush_deadline()
                 next_event_s = events[0][0] if events else None
                 if next_event_s is None or (deadline is not None
                                             and deadline <= next_event_s):
@@ -290,16 +394,8 @@ class InferenceServer:
                 arrivals_pending -= 1
                 admit(payload, self.clock.now())
             else:
-                busy = False
-                for response in payload:
-                    responses.append(response)
-                    stats.served += 1
-                    stats.latencies_s.append(response.latency_s)
-                stats.sim_duration_s = max(stats.sim_duration_s,
-                                           self.clock.now())
+                engine.complete(payload, self.clock.now())
+                responses.extend(payload)
 
-        stats.max_queue_depth = queue.max_depth
-        after = self.store.stats.as_dict()
-        stats.cache = CacheStats(**{k: after[k] - cache_before[k]
-                                    for k in after})
+        engine.finish()
         return ServeResult(responses=responses, stats=stats)

@@ -64,7 +64,8 @@ class TestFiles:
     def test_filename_per_area(self):
         assert [ledger_filename(a) for a in AREAS] == [
             "BENCH_pipeline.json", "BENCH_serve.json",
-            "BENCH_kernels.json", "BENCH_train.json"]
+            "BENCH_kernels.json", "BENCH_train.json",
+            "BENCH_cluster.json"]
 
     def test_unknown_area_filename_rejected(self):
         with pytest.raises(BenchError):

@@ -1,0 +1,64 @@
+"""Shared fixtures for the cluster tests.
+
+Same recipe as the serve suite: one small ZINC slice and one small
+model per session, cheap cluster construction per test so every test
+gets fresh engines, a fresh clock and a fresh tiered cache.
+"""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.train.trainer import build_model
+
+SCALE = 0.004
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return load_dataset("ZINC", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def model(dataset):
+    model = build_model("GCN", dataset, hidden_dim=16, num_layers=2,
+                        seed=0)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def pool(dataset):
+    """Six distinct graphs: small enough to be fast, enough to repeat."""
+    graphs = dataset.test[:6]
+    assert len(graphs) == 6
+    return graphs
+
+
+@pytest.fixture
+def make_requests(pool):
+    """Seeded request streams over the shared pool."""
+    from repro.serve import ArrivalProcess, generate_requests
+
+    def _make(num=64, seed=0, rate_rps=400.0, kind="poisson"):
+        process = ArrivalProcess(kind=kind, rate_rps=rate_rps, seed=seed)
+        return generate_requests(pool, num, process)
+
+    return _make
+
+
+@pytest.fixture
+def make_cluster(model):
+    """Factory for fresh clusters around the shared model."""
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.serve import BatchingPolicy, ServerConfig
+
+    def _make(replicas=3, policy="hash-affinity", fault_plan=None,
+              queue_capacity=16, max_batch=8, cache=None, vnodes=64):
+        config = ClusterConfig(
+            num_replicas=replicas, policy=policy, vnodes=vnodes,
+            server=ServerConfig(
+                queue_capacity=queue_capacity,
+                policy=BatchingPolicy(max_batch_size=max_batch)))
+        return Cluster(model, config, cache=cache, fault_plan=fault_plan)
+
+    return _make

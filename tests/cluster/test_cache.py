@@ -1,0 +1,99 @@
+"""Two-tier schedule cache: attribution, promotion, disk backing."""
+
+import numpy as np
+
+from repro.cluster import TieredScheduleCache, TierStats
+from repro.core.config import MegaConfig
+from repro.pipeline import ScheduleCache
+
+
+class TestTierStats:
+    def test_rates(self):
+        tier = TierStats(l1_hits=6, l2_hits=2, misses=2, l2_puts=2)
+        assert tier.lookups == 10
+        assert tier.l1_hit_rate == 0.6
+        assert tier.l2_hit_rate == 0.2
+        assert tier.hit_rate == 0.8
+
+    def test_empty_rates_are_zero(self):
+        tier = TierStats()
+        assert tier.l1_hit_rate == 0.0
+        assert tier.hit_rate == 0.0
+
+    def test_merge_is_elementwise(self):
+        a = TierStats(l1_hits=1, l2_hits=2, misses=3, l2_puts=3)
+        b = TierStats(l1_hits=10, l2_hits=0, misses=1, l2_puts=1)
+        merged = a.merge(b)
+        assert merged.as_dict() == {"l1_hits": 11, "l2_hits": 2,
+                                    "misses": 4, "l2_puts": 4}
+
+
+class TestTieredResolve:
+    def test_first_lookup_misses_and_feeds_both_tiers(self, pool):
+        tiered = TieredScheduleCache(MegaConfig())
+        view = tiered.view(0)
+        path, hit = view.resolve(pool[0])
+        assert not hit
+        assert view.tier.as_dict() == {"l1_hits": 0, "l2_hits": 0,
+                                       "misses": 1, "l2_puts": 1}
+        # Serve-compatible CacheStats moved in lockstep.
+        assert view.stats.misses == 1 and view.stats.puts == 1
+
+    def test_repeat_on_same_replica_hits_l1(self, pool):
+        tiered = TieredScheduleCache(MegaConfig())
+        view = tiered.view(0)
+        view.resolve(pool[0])
+        path, hit = view.resolve(pool[0])
+        assert hit
+        assert view.tier.l1_hits == 1 and view.tier.l2_hits == 0
+        assert view.stats.hits == 1
+
+    def test_cross_replica_lookup_hits_shared_l2(self, pool):
+        tiered = TieredScheduleCache(MegaConfig())
+        first, second = tiered.view(0), tiered.view(1)
+        first.resolve(pool[0])
+        path, hit = second.resolve(pool[0])
+        assert hit
+        assert second.tier.l2_hits == 1 and second.tier.l1_hits == 0
+        # Promotion: the next lookup on replica 1 is replica-local.
+        _, hit = second.resolve(pool[0])
+        assert hit and second.tier.l1_hits == 1
+
+    def test_global_tier_aggregates_views(self, pool):
+        tiered = TieredScheduleCache(MegaConfig())
+        a, b = tiered.view(0), tiered.view(1)
+        a.resolve(pool[0])          # miss
+        a.resolve(pool[0])          # L1 hit
+        b.resolve(pool[0])          # L2 hit
+        assert tiered.tier.as_dict() == {"l1_hits": 1, "l2_hits": 1,
+                                         "misses": 1, "l2_puts": 1}
+        merged = a.tier.merge(b.tier)
+        assert merged.as_dict() == tiered.tier.as_dict()
+
+    def test_resolved_paths_identical_across_tiers(self, pool):
+        tiered = TieredScheduleCache(MegaConfig())
+        a, b = tiered.view(0), tiered.view(1)
+        p_miss, _ = a.resolve(pool[0])
+        p_l1, _ = a.resolve(pool[0])
+        p_l2, _ = b.resolve(pool[0])
+        np.testing.assert_array_equal(p_miss.path, p_l1.path)
+        np.testing.assert_array_equal(p_miss.path, p_l2.path)
+
+
+class TestDiskBacking:
+    def test_misses_write_through_to_disk(self, pool, tmp_path):
+        disk = ScheduleCache(tmp_path / "l2")
+        tiered = TieredScheduleCache(MegaConfig(), backing=disk)
+        tiered.view(0).resolve(pool[0])
+        assert len(disk) == 1
+
+    def test_warm_disk_serves_as_l2(self, pool, tmp_path):
+        disk = ScheduleCache(tmp_path / "l2")
+        TieredScheduleCache(MegaConfig(), backing=disk) \
+            .view(0).resolve(pool[0])
+        # A fresh cluster (fresh L1s, fresh in-memory L2) still hits.
+        warm = TieredScheduleCache(MegaConfig(),
+                                   backing=ScheduleCache(tmp_path / "l2"))
+        view = warm.view(0)
+        _, hit = view.resolve(pool[0])
+        assert hit and view.tier.l2_hits == 1

@@ -1,0 +1,245 @@
+"""The clustered event loop: determinism, failover, degeneracy, edges.
+
+The tier-1 contract for ``repro.cluster``:
+
+* same seed (requests *and* faults) -> byte-identical
+  ``ClusterStats.as_dict()``;
+* every request ends served or as a typed failure — never silently
+  dropped;
+* one replica with no faults degenerates to the single-node server,
+  stat for stat.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.errors import ClusterError, ReproError
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.serve import BatchingPolicy, InferenceServer, ServerConfig
+
+RETRY = RetryPolicy(max_attempts=3)
+
+
+def stats_bytes(stats) -> str:
+    return json.dumps(stats.as_dict(), sort_keys=True)
+
+
+class TestDeterministicReplay:
+    def test_fault_free_replay_is_byte_identical(self, make_cluster,
+                                                 make_requests):
+        first = make_cluster().run(make_requests(), retry_policy=RETRY)
+        second = make_cluster().run(make_requests(), retry_policy=RETRY)
+        assert stats_bytes(first.stats) == stats_bytes(second.stats)
+
+    def test_seeded_crash_replay_is_byte_identical(self, make_cluster,
+                                                   make_requests):
+        plan = FaultPlan(seed=0, crash_replicas=(1,),
+                         crash_after_batches=2)
+        runs = [make_cluster(fault_plan=plan).run(make_requests(),
+                                                  retry_policy=RETRY)
+                for _ in range(2)]
+        assert runs[0].stats.crashed_replicas == 1
+        assert stats_bytes(runs[0].stats) == stats_bytes(runs[1].stats)
+
+    def test_different_seed_changes_the_run(self, make_cluster,
+                                            make_requests):
+        a = make_cluster().run(make_requests(seed=0), retry_policy=RETRY)
+        b = make_cluster().run(make_requests(seed=1), retry_policy=RETRY)
+        assert stats_bytes(a.stats) != stats_bytes(b.stats)
+
+    def test_rate_driven_crashes_replay(self, make_cluster,
+                                        make_requests):
+        # Seeded probabilistic crashes (not pinned) are just as
+        # replayable: the roll is a pure function of (seed, site).
+        plan = FaultPlan(seed=7, replica_failure_rate=0.08)
+        a = make_cluster(fault_plan=plan).run(make_requests(),
+                                              retry_policy=RETRY)
+        b = make_cluster(fault_plan=plan).run(make_requests(),
+                                              retry_policy=RETRY)
+        assert stats_bytes(a.stats) == stats_bytes(b.stats)
+
+
+class TestNoSilentDrops:
+    def assert_accounted(self, stats):
+        assert stats.received == stats.served + stats.failed
+        assert stats.attempts == stats.admitted + stats.rejected
+        assert len(stats.failures) == stats.failed
+        assert len(stats.latencies_s) == stats.served
+
+    def test_fault_free_run_serves_everything(self, make_cluster,
+                                              make_requests):
+        result = make_cluster().run(make_requests(), retry_policy=RETRY)
+        self.assert_accounted(result.stats)
+        assert result.stats.failed == 0
+        assert result.stats.served == 64
+
+    def test_crash_run_accounts_for_every_request(self, make_cluster,
+                                                  make_requests):
+        plan = FaultPlan(seed=0, crash_replicas=(0, 1),
+                         crash_after_batches=1)
+        result = make_cluster(fault_plan=plan).run(make_requests(),
+                                                   retry_policy=RETRY)
+        stats = result.stats
+        self.assert_accounted(stats)
+        assert stats.crashed_replicas == 2
+        assert {f.reason for f in stats.failures} <= {
+            "retry-budget-exhausted", "replica-crash",
+            "no-replicas-alive"}
+
+    def test_failed_request_surfaces_typed_error(self, make_cluster,
+                                                 make_requests):
+        # No retry budget: evacuated requests fail immediately.
+        plan = FaultPlan(seed=0, crash_replicas=(0, 1, 2),
+                         crash_after_batches=0)
+        result = make_cluster(fault_plan=plan).run(make_requests())
+        stats = result.stats
+        self.assert_accounted(stats)
+        assert stats.failed > 0
+        failure = stats.failures[0]
+        with pytest.raises(ClusterError, match=failure.reason):
+            result.response_for(failure.request_id)
+        # ClusterError is a ReproError: callers can catch broadly.
+        with pytest.raises(ReproError):
+            result.response_for(failure.request_id)
+
+    def test_unknown_request_id_is_typed_too(self, make_cluster,
+                                             make_requests):
+        result = make_cluster().run(make_requests(num=4),
+                                    retry_policy=RETRY)
+        with pytest.raises(ClusterError, match="never submitted"):
+            result.response_for(999)
+
+
+class TestFailover:
+    def test_evacuated_requests_get_served_elsewhere(self, make_cluster,
+                                                     make_requests):
+        plan = FaultPlan(seed=0, crash_replicas=(1,),
+                         crash_after_batches=2)
+        result = make_cluster(fault_plan=plan).run(make_requests(),
+                                                   retry_policy=RETRY)
+        stats = result.stats
+        assert stats.crashed_replicas == 1
+        assert stats.failovers > 0
+        assert stats.failed == 0             # budget covered the crash
+        assert stats.served == stats.received
+        crashed = [r for r in stats.replicas if r.crashed]
+        assert len(crashed) == 1
+        assert crashed[0].replica_id == 1
+        assert crashed[0].crashed_at_s >= 0.0
+
+    def test_rebalance_cost_is_vnodes_per_crash(self, make_cluster,
+                                                make_requests):
+        plan = FaultPlan(seed=0, crash_replicas=(1,),
+                         crash_after_batches=2)
+        result = make_cluster(fault_plan=plan, vnodes=32).run(
+            make_requests(), retry_policy=RETRY)
+        assert result.stats.rebalanced_arcs == 32
+
+    def test_rehash_under_churn_keeps_serving(self, make_cluster,
+                                              make_requests):
+        # Two of four replicas die mid-run; survivors absorb the keys
+        # and the stream still completes without failures.
+        plan = FaultPlan(seed=0, crash_replicas=(0, 2),
+                         crash_after_batches=1)
+        result = make_cluster(replicas=4, fault_plan=plan).run(
+            make_requests(num=96), retry_policy=RETRY)
+        stats = result.stats
+        assert stats.crashed_replicas == 2
+        assert stats.received == stats.served + stats.failed
+        survivors = [r for r in stats.replicas if not r.crashed]
+        assert sum(r.stats.served for r in survivors) == stats.served \
+            - sum(r.stats.served for r in stats.replicas if r.crashed)
+        assert stats.served > 0
+
+    def test_all_replicas_down_fails_the_tail_loudly(self, make_cluster,
+                                                     make_requests):
+        plan = FaultPlan(seed=0, crash_replicas=(0, 1, 2),
+                         crash_after_batches=0)
+        result = make_cluster(fault_plan=plan).run(make_requests(),
+                                                   retry_policy=RETRY)
+        stats = result.stats
+        assert stats.crashed_replicas == 3
+        assert stats.served == 0
+        assert stats.failed == stats.received
+        assert "no-replicas-alive" in {f.reason for f in stats.failures}
+
+    def test_crashed_replica_serves_nothing_after_crash(self,
+                                                        make_cluster,
+                                                        make_requests):
+        plan = FaultPlan(seed=0, crash_replicas=(1,),
+                         crash_after_batches=0)
+        result = make_cluster(fault_plan=plan).run(make_requests(),
+                                                   retry_policy=RETRY)
+        crashed = next(r for r in result.stats.replicas if r.crashed)
+        # crash_after_batches=0: died before launching anything.
+        assert crashed.stats.served == 0
+        assert len(crashed.stats.batches) == 0
+
+
+class TestDegeneracy:
+    def test_single_replica_matches_single_server(self, model,
+                                                  make_requests):
+        # Queue big enough that no rejection path fires; then the
+        # cluster's one engine must reproduce InferenceServer.run's
+        # stats byte for byte.
+        server_config = ServerConfig(
+            queue_capacity=64, policy=BatchingPolicy(max_batch_size=8))
+        single = InferenceServer(model, config=server_config) \
+            .run(make_requests(num=48))
+        clustered = Cluster(model, ClusterConfig(
+            num_replicas=1, server=server_config)) \
+            .run(make_requests(num=48))
+        assert json.dumps(single.stats.as_dict(), sort_keys=True) == \
+            json.dumps(clustered.stats.replicas[0].stats.as_dict(),
+                       sort_keys=True)
+        assert clustered.stats.served == single.stats.served
+        # Same predictions for the same request ids, too.
+        for response in single.responses[:5]:
+            other = clustered.response_for(response.request_id)
+            assert response.prediction.tolist() == \
+                other.prediction.tolist()
+
+
+class TestPoliciesUnderLoad:
+    def test_all_policies_serve_everything(self, make_cluster,
+                                           make_requests):
+        for policy in ("round-robin", "hash-affinity", "least-queue"):
+            result = make_cluster(policy=policy).run(make_requests(),
+                                                     retry_policy=RETRY)
+            assert result.stats.policy == policy
+            assert result.stats.served == 64
+
+    def test_hash_affinity_beats_round_robin_on_l1(self, make_cluster,
+                                                   make_requests):
+        # The acceptance-criteria comparison: repeat-heavy traffic
+        # (64 requests over 6 graphs) rewards content-aware routing.
+        affine = make_cluster(policy="hash-affinity").run(
+            make_requests(), retry_policy=RETRY)
+        blind = make_cluster(policy="round-robin").run(
+            make_requests(), retry_policy=RETRY)
+        assert affine.stats.tier.l1_hit_rate > \
+            blind.stats.tier.l1_hit_rate
+        # Any-tier hit rates match: L2 recovers what L1 locality lost.
+        assert affine.stats.tier.misses == blind.stats.tier.misses
+
+    def test_least_queue_spreads_load(self, make_cluster, make_requests):
+        result = make_cluster(policy="least-queue").run(
+            make_requests(), retry_policy=RETRY)
+        served = [r.stats.served for r in result.stats.replicas]
+        assert all(s > 0 for s in served)
+
+
+class TestConfigValidation:
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ClusterError, match="num_replicas"):
+            ClusterConfig(num_replicas=0)
+
+    def test_unknown_policy_rejected_at_config_time(self):
+        with pytest.raises(ClusterError, match="unknown load-balance"):
+            ClusterConfig(policy="random")
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ClusterError, match="vnodes"):
+            ClusterConfig(vnodes=0)

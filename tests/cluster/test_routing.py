@@ -1,0 +1,119 @@
+"""HashRing and load-balance policy behaviour (no serving involved)."""
+
+import hashlib
+
+import pytest
+
+from repro.cluster import (
+    HashAffinityPolicy,
+    HashRing,
+    LeastQueuePolicy,
+    POLICIES,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.errors import ClusterError
+
+
+def key_of(text: str) -> str:
+    """A content-key-shaped hex digest for routing tests."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+KEYS = [key_of(f"graph-{i}") for i in range(200)]
+
+
+class TestHashRing:
+    def test_route_is_stable(self):
+        ring = HashRing([0, 1, 2])
+        first = [ring.route(k) for k in KEYS]
+        again = [ring.route(k) for k in KEYS]
+        assert first == again
+        assert set(first) == {0, 1, 2}   # every replica owns some keys
+
+    def test_same_points_across_instances(self):
+        a, b = HashRing([0, 1, 2]), HashRing([0, 1, 2])
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_remove_moves_only_the_removed_replicas_keys(self):
+        ring = HashRing([0, 1, 2])
+        before = {k: ring.route(k) for k in KEYS}
+        moved_arcs = ring.remove(1)
+        assert moved_arcs == ring.vnodes
+        after = {k: ring.route(k) for k in KEYS}
+        for k in KEYS:
+            if before[k] != 1:
+                # Consistent hashing's whole point: survivors' keys
+                # never move on someone else's failure.
+                assert after[k] == before[k]
+            else:
+                assert after[k] in (0, 2)
+
+    def test_replica_ids_reflect_removal(self):
+        ring = HashRing([0, 1, 2])
+        assert ring.replica_ids == (0, 1, 2)
+        ring.remove(0)
+        assert ring.replica_ids == (1, 2)
+
+    def test_empty_ring_routes_nowhere(self):
+        ring = HashRing([0])
+        ring.remove(0)
+        with pytest.raises(ClusterError):
+            ring.route(KEYS[0])
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ClusterError):
+            HashRing([0], vnodes=0)
+
+    def test_distribution_roughly_balanced(self):
+        ring = HashRing([0, 1, 2, 3])
+        counts = {rid: 0 for rid in range(4)}
+        for k in KEYS:
+            counts[ring.route(k)] += 1
+        # 64 vnodes keep worst-case ownership within a loose band.
+        assert min(counts.values()) >= len(KEYS) // 16
+
+
+class TestPolicies:
+    def test_registry_and_factory(self):
+        assert set(POLICIES) == {"round-robin", "hash-affinity",
+                                 "least-queue"}
+        for name, cls in POLICIES.items():
+            policy = make_policy(name)
+            assert isinstance(policy, cls)
+            assert policy.name == name
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ClusterError, match="unknown load-balance"):
+            make_policy("coin-flip")
+
+    def test_round_robin_cycles_alive_set(self):
+        policy = RoundRobinPolicy()
+        ring = HashRing([0, 1, 2])
+        alive = ((0, 0), (1, 0), (2, 0))
+        picks = [policy.choose(KEYS[i], alive, ring) for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        # The cycle shortens when a replica dies, and keeps cycling.
+        shorter = ((0, 0), (2, 0))
+        picks = [policy.choose(KEYS[i], shorter, ring) for i in range(4)]
+        assert set(picks) == {0, 2}
+
+    def test_hash_affinity_follows_ring(self):
+        policy = HashAffinityPolicy()
+        ring = HashRing([0, 1, 2])
+        alive = ((0, 0), (1, 0), (2, 0))
+        for k in KEYS[:50]:
+            assert policy.choose(k, alive, ring) == ring.route(k)
+
+    def test_least_queue_picks_min_load_lowest_id(self):
+        policy = LeastQueuePolicy()
+        ring = HashRing([0, 1, 2])
+        assert policy.choose(KEYS[0], ((0, 5), (1, 2), (2, 4)), ring) == 1
+        # Tie on load -> lowest replica id.
+        assert policy.choose(KEYS[0], ((0, 3), (1, 3), (2, 7)), ring) == 0
+
+    def test_policies_refuse_empty_alive_set(self):
+        ring = HashRing([0])
+        for name in POLICIES:
+            with pytest.raises(ClusterError):
+                make_policy(name).choose(KEYS[0], (), ring)

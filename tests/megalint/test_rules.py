@@ -87,6 +87,53 @@ class TestImportLayering:
         }, select={"MEGA001"})
         assert result.ok
 
+    def test_top_layers_are_ordered(self, lint):
+        # serve < cluster < bench: each may import only earlier tops.
+        result = lint({
+            "repro/cluster/cluster2.py": '''\
+                """Doc string long enough."""
+                from repro.serve.server import ServerEngine
+            ''',
+            "repro/bench/workloads2.py": '''\
+                """Doc string long enough."""
+                from repro.cluster import Cluster
+                from repro.serve import InferenceServer
+            ''',
+        }, select={"MEGA001"})
+        assert result.ok
+
+    def test_fires_on_earlier_top_importing_later(self, lint):
+        result = lint({
+            "repro/serve/server3.py": '''\
+                """Doc string long enough."""
+                from repro.cluster.routing import HashRing
+            ''',
+            "repro/cluster/stats2.py": '''\
+                """Doc string long enough."""
+                import repro.bench
+            ''',
+        }, select={"MEGA001"})
+        assert rule_ids_of(result) == ["MEGA001"]
+        assert len(result.violations) == 2
+        messages = sorted(v.message for v in result.violations)
+        assert "repro.bench" in messages[0]
+        assert "repro.cluster.routing" in messages[1]
+
+    def test_fires_on_lower_layers_importing_cluster(self, lint):
+        result = lint({
+            "repro/pipeline/warm2.py": '''\
+                """Doc string long enough."""
+                from repro.cluster import ClusterStats
+            ''',
+            "repro/core/hooks2.py": '''\
+                """Doc string long enough."""
+                import repro.cluster.routing
+            ''',
+        }, select={"MEGA001"})
+        assert rule_ids_of(result) == ["MEGA001"]
+        assert len(result.violations) == 2
+        assert all("top-layer" in v.message for v in result.violations)
+
 
 # ---------------------------------------------------------------- MEGA002
 class TestDeterminism:

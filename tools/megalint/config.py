@@ -33,16 +33,18 @@ class LintConfig:
     high_layers: List[str] = field(default_factory=lambda: [
         "repro.models", "repro.train", "repro.pipeline",
         "repro.distributed"])
-    #: ...and the top layers above both: consumers (serving) that may
-    #: import anything below, while nothing below imports them.
+    #: ...and the top layers above both, *ordered*: each may import
+    #: anything below plus earlier top layers, while nothing below (or
+    #: earlier) imports it.
     top_layers: List[str] = field(default_factory=lambda: [
-        "repro.serve", "repro.bench"])
+        "repro.serve", "repro.cluster", "repro.bench"])
 
     #: MEGA002: modules whose ordered outputs feed schedule/cache keys,
     #: so set-iteration-order must never leak into them.
     determinism_modules: List[str] = field(default_factory=lambda: [
         "repro.core", "repro.graph", "repro.pipeline",
-        "repro.resilience", "repro.serve", "repro.bench"])
+        "repro.resilience", "repro.serve", "repro.cluster",
+        "repro.bench"])
 
     #: MEGA003: modules declared as vectorised kernels.
     kernel_modules: List[str] = field(default_factory=lambda: [
@@ -59,7 +61,8 @@ class LintConfig:
     #: MEGA011: modules whose ``as_dict``/``replay_surface`` functions
     #: build byte-identical replay/ledger surfaces.
     ledger_modules: List[str] = field(default_factory=lambda: [
-        "repro.bench", "repro.serve.stats", "repro.pipeline.stats"])
+        "repro.bench", "repro.serve.stats", "repro.cluster.stats",
+        "repro.pipeline.stats"])
 
     #: MEGA007: a module docstring shorter than this is a placeholder.
     docstring_min_length: int = 10

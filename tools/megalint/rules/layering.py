@@ -4,11 +4,14 @@ The scheduling substrate (``repro.core``/``repro.graph``/``repro.tensor``)
 must never import the layers built on top of it (``repro.models``,
 ``repro.train``, ``repro.pipeline``, ``repro.distributed``).  An upward
 import creates a cycle-in-waiting and couples Algorithm 1's correctness
-to training-loop code.  Above both sit the *top layers*
-(``repro.serve``): pure consumers that may import anything below while
-nothing below imports them, so a user who never serves never pays for
-the serving stack.  The dependency arrows in ``docs/architecture.md``
-only point downward.
+to training-loop code.  Above both sit the *top layers* — an **ordered**
+list (``repro.serve`` < ``repro.cluster`` < ``repro.bench``): pure
+consumers that may import anything below and any *earlier* top layer,
+while nothing below (or earlier) imports them.  So serve never knows
+the cluster exists, the cluster may embed serve engines, and bench may
+drive both — and a user who never serves never pays for the serving
+stack.  The dependency arrows in ``docs/architecture.md`` only point
+downward.
 """
 
 from __future__ import annotations
@@ -44,12 +47,15 @@ class ImportLayeringRule(Rule):
     id = "MEGA001"
     name = "import-layering"
     rationale = ("low layers (core/graph/tensor) must not import high "
-                 "layers (models/train/pipeline/distributed), and no "
-                 "layer below may import a top layer (serve)")
+                 "layers (models/train/pipeline/distributed), no layer "
+                 "below may import a top layer, and a top layer "
+                 "(serve < cluster < bench, in order) may only import "
+                 "earlier top layers")
 
     def enabled_for(self, ctx) -> bool:
         return ctx.in_modules(ctx.config.low_layers
-                              + ctx.config.high_layers)
+                              + ctx.config.high_layers
+                              + ctx.config.top_layers)
 
     def _check_target(self, node: ast.AST, ctx, target: str) -> None:
         if ctx.in_modules(ctx.config.low_layers):
@@ -57,21 +63,30 @@ class ImportLayeringRule(Rule):
             own = next(p for p in ctx.config.low_layers
                        if ctx.in_modules([p]))
             banned = ctx.config.high_layers + ctx.config.top_layers
-        else:
+        elif ctx.in_modules(ctx.config.high_layers):
             own_kind = "high"
             own = next(p for p in ctx.config.high_layers
                        if ctx.in_modules([p]))
             banned = ctx.config.top_layers
+        else:
+            # Top layers are ordered: each may import only the ones
+            # registered before it (serve < cluster < bench).
+            own_kind = "top"
+            own = next(p for p in ctx.config.top_layers
+                       if ctx.in_modules([p]))
+            banned = ctx.config.top_layers[
+                ctx.config.top_layers.index(own) + 1:]
         hit = _layer_of(target, banned)
         if not hit:
             return
         kind = ("top-layer" if _layer_of(target, ctx.config.top_layers)
                 else "high-layer")
+        hint = ("top layers import only earlier top layers"
+                if own_kind == "top" else
+                "invert the dependency or move the shared piece down")
         ctx.report(self, node,
                    f"{own_kind}-layer module '{ctx.module}' (layer "
-                   f"'{own}') imports {kind} '{target}' — "
-                   "invert the dependency or move the shared "
-                   "piece down")
+                   f"'{own}') imports {kind} '{target}' — {hint}")
 
     def visit_Import(self, node: ast.Import, ctx) -> None:
         for alias in node.names:
