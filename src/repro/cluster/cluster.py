@@ -42,7 +42,12 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.config import MegaConfig
 from repro.cluster.cache import ReplicaScheduleView, TieredScheduleCache
 from repro.cluster.routing import HashRing, make_policy
-from repro.cluster.stats import ClusterStats, FailedRequest, ReplicaRecord
+from repro.cluster.stats import (
+    FAILURE_REASONS,
+    ClusterStats,
+    FailedRequest,
+    ReplicaRecord,
+)
 from repro.errors import ClusterError, QueueFullError, ServeError
 from repro.memsim.device import DeviceSpec, GTX_1080
 from repro.models.base import GNNModel
@@ -186,6 +191,10 @@ class Cluster:
 
         def fail(request: InferenceRequest, reason: str,
                  now_s: float) -> None:
+            if reason not in FAILURE_REASONS:
+                raise ClusterError(
+                    f"unknown failure reason {reason!r}; the closed "
+                    f"vocabulary is {FAILURE_REASONS}")
             stats.failed += 1
             stats.failures.append(FailedRequest(
                 request_id=request.request_id,

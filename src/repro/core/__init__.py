@@ -9,7 +9,7 @@
 """
 
 from repro.core.atomic_io import atomic_write_bytes, sweep_stale_tmp
-from repro.core.config import DEFAULT_CONFIG, MegaConfig
+from repro.core.config import MegaConfig
 from repro.core.schedule import TraversalResult, resolve_start, traverse
 from repro.core.path import BandPlan, PathRepresentation
 from repro.core.diagonal import (
@@ -59,7 +59,6 @@ __all__ = [
     "atomic_write_bytes",
     "sweep_stale_tmp",
     "MegaConfig",
-    "DEFAULT_CONFIG",
     "traverse",
     "resolve_start",
     "TraversalResult",

@@ -61,6 +61,3 @@ class MegaConfig:
                 raise ConfigError(f"unknown start policy {self.start!r}")
         elif not isinstance(self.start, (int,)):
             raise ConfigError("start must be a policy name or a vertex id")
-
-
-DEFAULT_CONFIG = MegaConfig()

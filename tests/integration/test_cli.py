@@ -20,6 +20,20 @@ class TestParser:
         assert args.dataset == "ZINC"
         assert args.method == "mega"
 
+    def test_dataset_choices_match_loader_registry(self):
+        # The CLI keeps a literal list so --help needs no heavy
+        # imports; this pins it to the real registry.
+        from repro.cli import DATASETS
+        from repro.datasets import LOADERS
+
+        assert sorted(DATASETS) == sorted(LOADERS)
+
+    def test_model_choices_match_model_registry(self):
+        from repro.cli import MODELS
+        from repro.models import MODEL_REGISTRY
+
+        assert sorted(MODELS) == sorted(MODEL_REGISTRY)
+
 
 class TestCommands:
     def test_stats(self, capsys):

@@ -29,5 +29,33 @@ def lint(tmp_path):
     return _lint
 
 
+@pytest.fixture
+def plint(tmp_path, monkeypatch):
+    """Like ``lint``, but also runs the whole-program project pass.
+
+    Paths starting with ``tests/`` (or another configured reference
+    root) land outside ``src/`` and are indexed as reference-only
+    modules.  The fixture chdirs into the sandbox so the default
+    ``reference-roots`` resolve there, never in the real repo.
+    """
+
+    monkeypatch.chdir(tmp_path)
+
+    def _lint(files, select=None, disable=None, config=None):
+        cfg = config or LintConfig()
+        ref_heads = tuple(r.split("/")[0] + "/" for r in cfg.reference_roots)
+        root = tmp_path / "src"
+        root.mkdir(exist_ok=True)
+        for rel, text in files.items():
+            base = tmp_path if rel.startswith(ref_heads) else root
+            path = base / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return lint_paths([root], config=cfg, select=select,
+                          disable=disable, project_targets=[root])
+
+    return _lint
+
+
 def rule_ids_of(result):
     return sorted({v.rule_id for v in result.violations})

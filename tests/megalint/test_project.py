@@ -1,0 +1,208 @@
+"""The project substrate: parse cache, symbol table, resolution,
+and the approximate call graph.
+
+These are the load-bearing parts under MEGA012–015; the rules
+themselves are covered in ``test_project_rules.py``.
+"""
+
+import textwrap
+from pathlib import Path
+
+from tools.megalint import LintConfig, ParseCache, ProjectIndex
+from tools.megalint import rules as _rules  # noqa: F401  (registers rules)
+from tools.megalint.callgraph import CallGraph
+from tools.megalint.engine import Engine, scan_root_for
+
+
+def _write_tree(root: Path, files: dict) -> None:
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+
+
+def _index(tmp_path, files, config=None) -> ProjectIndex:
+    root = tmp_path / "src"
+    _write_tree(root, files)
+    return ProjectIndex.build([root], config or LintConfig(),
+                              reference_roots=[])
+
+
+class TestParseCache:
+    def test_each_file_parsed_exactly_once(self, tmp_path, monkeypatch):
+        """The historical double-parse (per-file walk + project pass
+        re-reading everything) is gone: one parse per file per run."""
+        monkeypatch.chdir(tmp_path)  # reference roots resolve here
+        root = tmp_path / "src"
+        _write_tree(root, {
+            "repro/__init__.py": '"""Pkg docstring for MEGA007."""\n',
+            "repro/a.py": '"""Module a."""\n\ndef f():\n    return 1\n',
+            "repro/b.py": '"""Module b."""\n\nfrom repro.a import f\n',
+        })
+        engine = Engine(config=LintConfig())
+        result = engine.run([root], project_targets=[root])
+        assert result.files_scanned == 3
+        assert result.project_files == 3
+        assert engine.parse_cache.parse_count == 3
+
+    def test_cache_returns_same_object(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text('"""M."""\n', encoding="utf-8")
+        cache = ParseCache()
+        assert cache.load(path) is cache.load(path)
+        assert cache.parse_count == 1
+
+
+class TestScanRoot:
+    def test_package_target_climbs_to_parent(self, tmp_path):
+        """Scanning ``tools`` (itself a package) must name modules
+        ``tools.megalint.x``, matching how the repo imports them."""
+        pkg = tmp_path / "tools" / "megalint"
+        _write_tree(tmp_path, {
+            "tools/__init__.py": '"""Tools."""\n',
+            "tools/megalint/__init__.py": '"""Lint."""\n',
+        })
+        assert scan_root_for(tmp_path / "tools") == tmp_path
+        assert scan_root_for(pkg) == tmp_path
+
+    def test_plain_directory_is_its_own_root(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        assert scan_root_for(src) == src
+
+
+class TestSymbolTable:
+    def test_defs_imports_exports(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/mod.py": """\
+                import json
+                import numpy as np
+                from repro.other import thing as alias
+
+                __all__ = ["f", "C"]
+
+                def f():
+                    return thing
+
+                class C:
+                    limit = 3
+                    def method(self, x):
+                        return x
+                """,
+        })
+        info = index.modules["repro.mod"]
+        assert {"f", "C"}.issubset(info.defs)
+        assert "thing" not in info.defs  # imported, not defined
+        assert info.imports == {"json": "json", "np": "numpy",
+                                "alias": "repro.other.thing"}
+        assert [name for _, name in info.exports] == ["f", "C"]
+        cls = info.classes["C"]
+        assert list(cls.methods) == ["method"]
+        assert cls.attrs == ["limit"]
+
+    def test_dynamic_dunder_all_is_none(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/mod.py": "__all__ = [n for n in dir()]\n",
+        })
+        assert index.modules["repro.mod"].exports is None
+
+    def test_relative_imports_resolve(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/sub/__init__.py": "",
+            "repro/sub/a.py": "def f():\n    return 1\n",
+            "repro/sub/b.py": "from .a import f\nfrom .. import sub\n",
+        })
+        info = index.modules["repro.sub.b"]
+        assert info.imports["f"] == "repro.sub.a.f"
+        assert info.imports["sub"] == "repro.sub"
+
+
+class TestResolution:
+    def test_reexport_chain_resolves_to_definer(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/__init__.py": "from repro.inner import helper\n",
+            "repro/inner.py": "def helper():\n    return 0\n",
+            "repro/user.py": "from repro import helper\n",
+        })
+        assert index.canonical("repro.helper") == "repro.inner.helper"
+        assert (index.resolve("repro.user", "helper")
+                == "repro.inner.helper")
+
+    def test_resolution_survives_import_cycles(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/a.py": "from repro.b import x\n",
+            "repro/b.py": "from repro.a import x\n",
+        })
+        # Must terminate; an unresolvable cycle collapses to a fixed
+        # point (or None), never an infinite loop.
+        assert index.canonical("repro.a.x") in (None, "repro.a.x",
+                                                "repro.b.x")
+
+
+class TestCallGraph:
+    def _graph(self, tmp_path, files):
+        index = _index(tmp_path, files)
+        return index, CallGraph.build(index)
+
+    def test_direct_and_self_method_edges(self, tmp_path):
+        index, graph = self._graph(tmp_path, {
+            "repro/m.py": """\
+                def helper():
+                    return 1
+
+                class C:
+                    def a(self):
+                        return self.b() + helper()
+                    def b(self):
+                        return 2
+                """,
+        })
+        callees = {e.callee for e in graph.out_edges("repro.m.C.a")}
+        assert callees == {"repro.m.C.b", "repro.m.helper"}
+
+    def test_injected_default_callable_edge(self, tmp_path):
+        index, graph = self._graph(tmp_path, {
+            "repro/util.py": "def impl():\n    return 1\n",
+            "repro/entry.py": """\
+                from repro.util import impl
+
+                def run(fn=impl):
+                    return fn()
+                """,
+        })
+        edges = graph.out_edges("repro.entry.run")
+        injected = [e for e in edges if e.via == "injected-default"]
+        assert [e.callee for e in injected] == ["repro.util.impl"]
+
+    def test_reexport_call_edge(self, tmp_path):
+        index, graph = self._graph(tmp_path, {
+            "repro/__init__.py": "from repro.inner import work\n",
+            "repro/inner.py": "def work():\n    return 1\n",
+            "repro/user.py": """\
+                from repro import work
+
+                def go():
+                    return work()
+                """,
+        })
+        edges = graph.out_edges("repro.user.go")
+        assert [(e.callee, e.via) for e in edges] == [
+            ("repro.inner.work", "re-export")]
+
+    def test_instantiation_reaches_init(self, tmp_path):
+        index, graph = self._graph(tmp_path, {
+            "repro/m.py": """\
+                class C:
+                    def __init__(self):
+                        pass
+
+                def make():
+                    return C()
+                """,
+        })
+        callees = {e.callee for e in graph.out_edges("repro.m.make")}
+        assert "repro.m.C" in callees
+        init_edges = {e.callee for e in graph.out_edges("repro.m.C")}
+        assert init_edges == {"repro.m.C.__init__"}

@@ -4,6 +4,4 @@ Nothing in here is imported by ``src/repro`` — tools observe the
 codebase (via ``ast``) but are never a runtime dependency of it.
 
 - :mod:`tools.megalint` — the repo-specific invariant linter.
-- ``tools/check_docstrings.py`` — back-compat shim over megalint's
-  MEGA007 docstring rule.
 """

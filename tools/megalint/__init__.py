@@ -30,17 +30,30 @@ from tools.megalint.engine import (
     Engine,
     LintResult,
     ModuleContext,
+    ParseCache,
+    ParsedFile,
     Violation,
     lint_paths,
     module_name_for,
 )
-from tools.megalint.registry import Rule, all_rules, register, rule_ids
+from tools.megalint.project import ProjectIndex
+from tools.megalint.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+    rule_ids,
+)
 
 __all__ = [
     "Engine",
     "LintConfig",
     "LintResult",
     "ModuleContext",
+    "ParseCache",
+    "ParsedFile",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "Violation",
     "ConfigError",

@@ -6,6 +6,13 @@ violations are filtered out — so pre-existing debt is tolerated while
 any **new** violation (or an old one moving to a new message) still
 fails the build.  Line numbers are deliberately excluded from the key
 so unrelated edits that shift code around don't invalidate a baseline.
+
+An entry's value is either a bare count or a table carrying a
+justification — ``{"count": 1, "why": "public API used by the README
+quickstart"}`` — so *sanctioned* violations (as opposed to unpaid
+debt) document their reason next to the entry.  ``write_baseline``
+emits bare counts; justifications are added by hand when the entry is
+a keep, not a TODO.
 """
 
 from __future__ import annotations
@@ -52,7 +59,18 @@ def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
     entries = data.get("entries", {})
     if not isinstance(entries, dict):
         raise BaselineError(f"baseline {path}: 'entries' must be a table")
-    return {str(k): int(v) for k, v in entries.items()}
+    out: Dict[str, int] = {}
+    for key, value in entries.items():
+        if isinstance(value, dict):
+            try:
+                out[str(key)] = int(value["count"])
+            except (KeyError, TypeError, ValueError):
+                raise BaselineError(
+                    f"baseline {path}: entry {key!r} must carry an "
+                    "integer 'count'") from None
+        else:
+            out[str(key)] = int(value)
+    return out
 
 
 def apply_baseline(result: LintResult,

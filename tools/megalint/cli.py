@@ -1,15 +1,26 @@
 """Command-line front end: ``python -m tools.megalint [paths...]``.
 
 Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+
+``--project`` runs the whole-program pass (symbol table, call graph,
+determinism taint — rules MEGA012–015) over the given paths (default:
+the configured ``project-roots``) in addition to the per-file rules.
+``--changed-only`` narrows the *per-file* rules to files touched in
+the working tree (``git diff`` + untracked) while the project pass
+still indexes the full tree — cross-module facts are only sound over
+the whole program.  ``--format`` adds ``jsonl`` (one JSON object per
+violation, summary last) and ``sarif`` (SARIF 2.1.0, the format CI
+uploads so violations annotate pull requests).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from tools.megalint import rules as _rules  # noqa: F401  (registers rules)
 from tools.megalint.baseline import (
@@ -19,8 +30,11 @@ from tools.megalint.baseline import (
     write_baseline,
 )
 from tools.megalint.config import ConfigError, LintConfig, load_config
-from tools.megalint.engine import Engine, LintResult
+from tools.megalint.engine import Engine, LintResult, scan_root_for
 from tools.megalint.registry import all_rules
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -28,11 +42,22 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.megalint",
         description="Repo-specific invariant linter for the MEGA "
                     "reproduction (determinism, layering, hot-path and "
-                    "cache contracts).")
+                    "cache contracts, cross-module taint).")
     parser.add_argument("paths", nargs="*",
-                        help="files or directories to lint "
-                             "(default: the configured src root)")
-    parser.add_argument("--format", choices=("text", "json"),
+                        help="files or directories to lint (default: the "
+                             "configured src root; with --project, the "
+                             "configured project roots)")
+    parser.add_argument("--project", action="store_true",
+                        help="run the whole-program pass (MEGA012-015: "
+                             "taint, call layering, dead exports, "
+                             "duck-type drift) in addition to the "
+                             "per-file rules")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="per-file rules only lint files changed vs "
+                             "git HEAD (plus untracked); the project "
+                             "pass still indexes the whole tree")
+    parser.add_argument("--format",
+                        choices=("text", "json", "jsonl", "sarif"),
                         default="text", help="report format")
     parser.add_argument("--config", default="pyproject.toml",
                         help="pyproject.toml with a [tool.megalint] block")
@@ -57,12 +82,50 @@ def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
     return [p.strip() for p in raw.split(",") if p.strip()]
 
 
+def _changed_files(targets: Sequence[Path]
+                   ) -> Optional[List[Tuple[Path, Path]]]:
+    """(path, scan_root) pairs for working-tree changes under targets.
+
+    Changed = different from git HEAD (staged or not) plus untracked.
+    Returns None when git is unavailable or this is not a work tree.
+    """
+    names: List[str] = []
+    for cmd in (["git", "diff", "--name-only", "HEAD", "--"],
+                ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  check=True)
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        names.extend(line.strip() for line in proc.stdout.splitlines()
+                     if line.strip())
+    pairs: List[Tuple[Path, Path]] = []
+    roots = [(scan_root_for(t), t) for t in targets]
+    for name in sorted(set(names)):
+        if not name.endswith(".py"):
+            continue
+        path = Path(name)
+        if not path.is_file():
+            continue  # deleted in the working tree
+        resolved = path.resolve()
+        for root, target in roots:
+            try:
+                resolved.relative_to(target.resolve())
+            except ValueError:
+                continue
+            pairs.append((path, root))
+            break
+    return pairs
+
+
 def _report_text(result: LintResult, stale: int, out) -> None:
     for violation in result.violations:
         print(violation.text(), file=out)
     bits = [f"{len(result.violations)} violation(s)",
             f"{result.files_scanned} file(s)",
             f"{len(result.rule_ids)} rule(s)"]
+    if result.project_files:
+        bits.append(f"{result.project_files} project module(s)")
     if result.suppressed:
         bits.append(f"{result.suppressed} suppressed inline")
     if result.baselined:
@@ -72,25 +135,88 @@ def _report_text(result: LintResult, stale: int, out) -> None:
     print("megalint: " + ", ".join(bits), file=out)
 
 
+def _summary_payload(result: LintResult, stale: int) -> dict:
+    return {
+        "violations": len(result.violations),
+        "files_scanned": result.files_scanned,
+        "project_modules": result.project_files,
+        "rules": result.rule_ids,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "stale_baseline_entries": stale,
+    }
+
+
 def _report_json(result: LintResult, stale: int, out) -> None:
     payload = {
         "version": 1,
         "violations": [v.to_json() for v in result.violations],
-        "summary": {
-            "violations": len(result.violations),
-            "files_scanned": result.files_scanned,
-            "rules": result.rule_ids,
-            "suppressed": result.suppressed,
-            "baselined": result.baselined,
-            "stale_baseline_entries": stale,
-        },
+        "summary": _summary_payload(result, stale),
     }
     print(json.dumps(payload, indent=2), file=out)
 
 
+def _report_jsonl(result: LintResult, stale: int, out) -> None:
+    """One JSON object per line: each violation, then the summary.
+
+    Stream-friendly for pre-commit hooks and log scrapers — a consumer
+    can stop at the first line without parsing the whole report.
+    """
+    for violation in result.violations:
+        print(json.dumps(violation.to_json(), sort_keys=True), file=out)
+    print(json.dumps({"summary": _summary_payload(result, stale)},
+                     sort_keys=True), file=out)
+
+
+def _report_sarif(result: LintResult, stale: int, out) -> None:
+    """SARIF 2.1.0 — what the CI job uploads for GitHub annotations."""
+    rules_meta = [{
+        "id": cls.id,
+        "name": cls.name,
+        "shortDescription": {"text": cls.rationale},
+    } for cls in all_rules()]
+    results = [{
+        "ruleId": v.rule_id,
+        "level": "error",
+        "message": {"text": v.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": v.path,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": v.line,
+                           "startColumn": v.col + 1},
+            },
+        }],
+    } for v in result.violations]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "megalint",
+                "informationUri":
+                    "https://example.invalid/docs/static_analysis.md",
+                "rules": rules_meta,
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    print(json.dumps(payload, indent=2), file=out)
+
+
+_REPORTERS = {
+    "text": _report_text,
+    "json": _report_json,
+    "jsonl": _report_jsonl,
+    "sarif": _report_sarif,
+}
+
+
 def _list_rules(out) -> None:
     for cls in all_rules():
-        print(f"{cls.id}  {cls.name}", file=out)
+        scope = "project" if getattr(cls, "project", False) else "file"
+        print(f"{cls.id}  {cls.name}  [{scope}]", file=out)
         print(f"    {cls.rationale}", file=out)
 
 
@@ -109,16 +235,31 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         print(f"megalint: {exc}", file=sys.stderr)
         return 2
 
-    targets = [Path(p) for p in args.paths] or [Path(config.src_root)]
+    if args.paths:
+        targets = [Path(p) for p in args.paths]
+    elif args.project:
+        targets = [Path(p) for p in config.project_roots if Path(p).exists()]
+    else:
+        targets = [Path(config.src_root)]
     for target in targets:
         if not target.exists():
             print(f"megalint: no such path: {target}", file=sys.stderr)
             return 2
 
+    explicit_files = None
+    if args.changed_only:
+        explicit_files = _changed_files(targets)
+        if explicit_files is None:
+            print("megalint: --changed-only needs a git work tree "
+                  "(git diff failed)", file=sys.stderr)
+            return 2
+
     engine = Engine(config=config,
                     select=_split_ids(args.select),
                     disable=_split_ids(args.disable))
-    result = engine.run(targets)
+    result = engine.run(targets,
+                        project_targets=targets if args.project else None,
+                        explicit_files=explicit_files)
 
     if args.write_baseline:
         count = write_baseline(args.write_baseline, result)
@@ -136,8 +277,5 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return 2
         result, stale = apply_baseline(result, entries)
 
-    if args.format == "json":
-        _report_json(result, stale, out)
-    else:
-        _report_text(result, stale, out)
+    _REPORTERS[args.format](result, stale, out)
     return 0 if result.ok else 1

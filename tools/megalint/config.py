@@ -56,7 +56,7 @@ class LintConfig:
 
     #: MEGA009: modules allowed to call ``print`` (user-facing CLIs).
     print_allowed: List[str] = field(default_factory=lambda: [
-        "repro.cli", "repro.bench.cli"])
+        "repro.cli", "repro.bench.cli", "tools.megalint.cli"])
 
     #: MEGA011: modules whose ``as_dict``/``replay_surface`` functions
     #: build byte-identical replay/ledger surfaces.
@@ -66,6 +66,28 @@ class LintConfig:
 
     #: MEGA007: a module docstring shorter than this is a placeholder.
     docstring_min_length: int = 10
+
+    #: Directories the project pass indexes when ``--project`` is given
+    #: without explicit paths (the checked whole-program view).
+    project_roots: List[str] = field(default_factory=lambda: [
+        "src", "tools"])
+
+    #: Directories whose imports count as *uses* for MEGA014
+    #: dead-export analysis but which are never themselves linted.
+    reference_roots: List[str] = field(default_factory=lambda: [
+        "tests", "examples", "benchmarks"])
+
+    #: MEGA015: dotted class paths acting as structural protocols;
+    #: classes duck-typing them must not drift from their method set.
+    protocol_classes: List[str] = field(default_factory=lambda: [
+        "repro.serve.server.ScheduleStore",
+        "repro.cluster.routing.LoadBalancePolicy"])
+
+    #: MEGA012: extra taint sinks beyond the replay-surface builders —
+    #: dotted function/method qualnames whose outputs feed cache keys
+    #: or fault-plan rolls and must stay deterministic.
+    taint_sink_functions: List[str] = field(default_factory=lambda: [
+        "repro.resilience.faults.FaultPlan.roll"])
 
     #: Rule IDs disabled globally (config-level, not inline).
     disable: List[str] = field(default_factory=list)

@@ -54,6 +54,22 @@ class Rule:
         """Hook called after the walk of one module."""
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules (the project pass).
+
+    A project rule does not take part in the per-file walk; instead the
+    engine calls :meth:`check_project` once per run with the
+    :class:`~tools.megalint.project.ProjectIndex` built over the
+    project targets and a reporter that routes findings through the
+    same inline-suppression and baseline machinery as per-file rules.
+    """
+
+    project = True
+
+    def check_project(self, index, reporter) -> None:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 

@@ -18,4 +18,8 @@ from tools.megalint.rules import (  # noqa: F401
     io_hygiene,
     retry_bounds,
     ledger_determinism,
+    taint_replay,
+    call_layering,
+    dead_exports,
+    duck_types,
 )

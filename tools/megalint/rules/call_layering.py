@@ -1,0 +1,89 @@
+"""MEGA013 — call-graph layering: no layer calls upward, however the
+callee got into scope.
+
+MEGA001 checks ``import`` statements, which is necessary but not
+sufficient: a lower layer can still *call* upward through a package
+re-export (``from repro import helper`` where ``repro/__init__``
+re-exported a ``repro.train`` function) or through an injected
+callable (a parameter whose default value is an upper-layer function).
+Both leave no banned import statement behind, and both couple the
+scheduling substrate to the layers above it just the same — the
+dependency *at runtime* is what layering protects.
+
+This rule walks every resolved edge of the project call graph and
+flags calls whose callee's layer is above the caller's, using the same
+layer model as MEGA001: low (``repro.core``/``graph``/``tensor``/
+``resilience``) < high (``models``/``train``/``pipeline``/
+``distributed``) < ordered top layers (``serve`` < ``cluster`` <
+``bench``).  The edge's resolution kind (re-export, injected default)
+is named in the message, since that is precisely what the import rule
+could not see.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from tools.megalint.registry import ProjectRule, register
+
+
+def _layer_rank(module: str, config) -> Optional[Tuple[int, str]]:
+    """(rank, layer prefix) of ``module``; None when unlayered."""
+    def _under(prefix: str) -> bool:
+        return module == prefix or module.startswith(prefix + ".")
+
+    for prefix in config.low_layers:
+        if _under(prefix):
+            return 0, prefix
+    for prefix in config.high_layers:
+        if _under(prefix):
+            return 1, prefix
+    for i, prefix in enumerate(config.top_layers):
+        if _under(prefix):
+            return 2 + i, prefix
+    return None
+
+
+_VIA = {
+    "direct": "a direct call",
+    "re-export": "a package re-export (invisible to import checks)",
+    "self": "a method call",
+    "injected-default": "an injected default callable (invisible to "
+                        "import checks)",
+    "init": "instantiation",
+}
+
+
+@register
+class CallLayeringRule(ProjectRule):
+    id = "MEGA013"
+    name = "call-layering"
+    rationale = ("the call graph must respect the layer order even "
+                 "when the callee arrives via a re-export or an "
+                 "injected default callable — strengthens MEGA001 "
+                 "from import statements to actual calls")
+
+    def check_project(self, index, reporter) -> None:
+        graph = index.callgraph()
+        config = index.config
+        for caller in sorted(graph.edges):
+            caller_node = graph.nodes.get(caller)
+            if caller_node is None:
+                continue
+            caller_rank = _layer_rank(caller_node.module, config)
+            if caller_rank is None:
+                continue
+            for edge in graph.edges[caller]:
+                callee_node = graph.nodes.get(edge.callee)
+                if callee_node is None:
+                    continue
+                callee_rank = _layer_rank(callee_node.module, config)
+                if callee_rank is None or callee_rank[0] <= caller_rank[0]:
+                    continue
+                info = index.modules[caller_node.module]
+                reporter.report(
+                    self, info, edge.line,
+                    f"'{caller}' (layer '{caller_rank[1]}') calls "
+                    f"upward into '{edge.callee}' (layer "
+                    f"'{callee_rank[1]}') via {_VIA.get(edge.via, edge.via)}"
+                    " — invert the dependency or move the callee down")

@@ -1,0 +1,64 @@
+"""MEGA012 — determinism taint must not reach a replay surface.
+
+The per-file rules guard the *bodies* of replay-surface builders
+(MEGA011) and cache-key code (MEGA004), but the replay contract is
+transitive: ``as_dict`` calling a helper that calls ``time.time()`` is
+exactly as broken as reading the clock inline, and a project that
+grows helpers faster than reviewers can trace them needs the checker
+to do the tracing.  This rule runs the interprocedural taint pass
+(:mod:`tools.megalint.taint`) over the approximate call graph:
+
+* **sources** — wall-clock reads, ``random``/``os.urandom``/``uuid``/
+  legacy ``np.random`` RNG, environment reads, unsorted filesystem
+  enumeration, set-order-dependent iteration;
+* **sinks** — ``as_dict``/``replay_surface``/``*_replay_surface`` in
+  the determinism/ledger scopes, every function of the purity modules
+  (``pipeline.hashing`` inputs), and the configured
+  ``taint-sink-functions`` (``FaultPlan.roll``);
+* a sink is reported when any call chain from it reaches an
+  *unsanctioned* source, with the shortest chain spelled out.
+
+Sanctioned impurities are declared on the source line, with a
+mandatory justification::
+
+    base = os.environ.get("REPRO_CACHE_DIR")  # megalint: sanctioned-impurity=env: picks the cache directory, never enters a key
+
+A declaration without a justification (or naming an unknown kind) is
+itself a violation — impurities are declared, never silently
+suppressed.
+"""
+
+from __future__ import annotations
+
+from tools.megalint.registry import ProjectRule, register
+from tools.megalint.taint import TaintAnalysis, sink_functions
+
+
+@register
+class DeterminismTaintRule(ProjectRule):
+    id = "MEGA012"
+    name = "determinism-taint"
+    rationale = ("no call chain from a replay surface, cache-key path, "
+                 "or fault-plan roll may reach a wall-clock/RNG/env/"
+                 "set-order source unless the impurity is declared "
+                 "sanctioned with a justification")
+
+    def check_project(self, index, reporter) -> None:
+        graph = index.callgraph()
+        analysis = TaintAnalysis(index, graph)
+        for bad in analysis.bad_declarations:
+            info = index.modules[bad.module]
+            reporter.report(self, info, bad.line, bad.problem)
+        for qualname, sink_kind in sink_functions(index, graph,
+                                                  index.config):
+            chain = analysis.trace(qualname)
+            if chain is None:
+                continue
+            fn = graph.nodes[qualname]
+            info = index.modules[fn.module]
+            reporter.report(
+                self, info, fn.node,
+                f"{sink_kind} '{qualname}' is determinism-tainted: "
+                f"{chain.describe()} — make the chain pure, or mark "
+                "the source line '# megalint: sanctioned-impurity="
+                f"{chain.source.kind}: <why>'")

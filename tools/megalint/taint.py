@@ -1,0 +1,273 @@
+"""Interprocedural determinism taint: sources, sanctioned impurities,
+and call-chain reachability.
+
+The repo's replay contract (byte-identical ``as_dict`` /
+``replay_surface`` output, pure ``pipeline.hashing`` keys,
+seed-deterministic ``FaultPlan.roll``) is only as strong as the
+*transitive* call closure of those functions — a wall-clock read two
+calls away poisons the surface just as surely as one inside it, and the
+per-file rules (MEGA004/MEGA011) cannot see it.  This module computes:
+
+* **direct sources** per function: wall-clock reads, ``random`` /
+  ``os.urandom`` / ``secrets`` / ``uuid`` / legacy ``np.random`` RNG,
+  environment reads, unsorted filesystem enumeration, and
+  set-order-dependent iteration;
+* **sanctioned impurities**: a source is exempt only when its line
+  carries an explicit declaration::
+
+      t = time.time()  # megalint: sanctioned-impurity=clock: wall block only
+
+  The declaration names the impurity kind(s) (``clock``, ``rng``,
+  ``env``, ``fs-order``, ``set-order``) and *must* give a
+  justification after the colon — a declaration without one is itself
+  reported, so impurities are declared, never silently suppressed;
+* **taint chains**: shortest call-graph path from a sink function to a
+  function containing an unsanctioned source (breadth-first over the
+  deterministic edge order, so reports are stable).
+
+MEGA012 turns the chains into violations; the machinery lives here so
+tests (and future rules) can drive it directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from tools.megalint.astutil import dotted_name, is_setish
+from tools.megalint.callgraph import CallGraph, _walk_own_body
+from tools.megalint.project import ModuleInfo, ProjectIndex
+from tools.megalint.rules.cache_purity import _CLOCK_CALLS
+
+#: ``# megalint: sanctioned-impurity=clock,env: justification``
+_SANCTION_RE = re.compile(
+    r"#\s*megalint:\s*sanctioned-impurity=([a-z,\-\s]+?)\s*:\s*(.*)$")
+
+#: Impurity kinds a declaration may name.
+IMPURITY_KINDS = frozenset({"clock", "rng", "env", "fs-order", "set-order"})
+
+#: ``random`` module callables that draw from global RNG state.
+_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "lognormvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "triangular", "getrandbits", "randbytes", "seed",
+})
+
+#: Legacy global-state numpy RNG (mirrors MEGA002's ban list).
+_NP_RANDOM_FUNCS = frozenset({
+    "seed", "rand", "randn", "random", "random_sample", "ranf", "sample",
+    "randint", "random_integers", "choice", "shuffle", "permutation",
+    "bytes", "uniform", "normal", "standard_normal", "binomial", "poisson",
+    "beta", "gamma", "exponential", "geometric", "multinomial",
+    "get_state", "set_state",
+})
+
+_ENV_CALLS = frozenset({"os.getenv", "os.environb"})
+_FS_CALLS = frozenset({"os.listdir", "os.scandir"})
+_FS_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+@dataclass(frozen=True)
+class Source:
+    """One direct impurity found inside a function body."""
+
+    kind: str       # one of IMPURITY_KINDS
+    line: int
+    what: str       # human-readable, e.g. "time.time()"
+
+
+@dataclass(frozen=True)
+class TaintChain:
+    """A sink-to-source call path proving the sink is tainted."""
+
+    sink: str                     # sink function qualname
+    source: Source
+    source_function: str          # qualname containing the source
+    source_path: str              # display path of the defining file
+    hops: Tuple[str, ...]         # qualnames, sink first
+
+    def describe(self) -> str:
+        route = " -> ".join(self.hops)
+        return (f"{self.source.kind} source '{self.source.what}' "
+                f"({self.source_path}:{self.source.line}) reaches it "
+                f"via {route}")
+
+
+@dataclass(frozen=True)
+class BadDeclaration:
+    """A sanctioned-impurity comment that does not pass muster."""
+
+    module: str
+    line: int
+    problem: str
+
+
+def _sanctions_for(info: ModuleInfo) -> Dict[int, Tuple[frozenset, str]]:
+    """Line -> (kinds, justification) for declaration comments."""
+    out: Dict[int, Tuple[frozenset, str]] = {}
+    for i, line in enumerate(info.parsed.lines, start=1):
+        match = _SANCTION_RE.search(line)
+        if match:
+            kinds = frozenset(p.strip() for p in match.group(1).split(",")
+                              if p.strip())
+            out[i] = (kinds, match.group(2).strip())
+    return out
+
+
+def _iter_sources(fn_node: ast.AST) -> Iterator[Source]:
+    """Direct impurity sources syntactically inside one function body."""
+    for node in _walk_own_body(fn_node):
+        if isinstance(node, ast.Call):
+            yield from _call_sources(node)
+        elif isinstance(node, ast.Attribute):
+            if dotted_name(node) == "os.environ":
+                yield Source("env", node.lineno, "os.environ")
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if is_setish(node.iter):
+                yield Source("set-order", node.iter.lineno,
+                             "iteration over an unordered set")
+        elif isinstance(node, (ast.ListComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            if is_setish(node.generators[0].iter):
+                yield Source("set-order", node.generators[0].iter.lineno,
+                             "comprehension over an unordered set")
+
+
+def _call_sources(node: ast.Call) -> Iterator[Source]:
+    flat = dotted_name(node.func)
+    if flat is None:
+        return
+    parts = flat.split(".")
+    if flat in _CLOCK_CALLS:
+        yield Source("clock", node.lineno, f"{flat}()")
+    elif flat == "os.urandom":
+        yield Source("rng", node.lineno, "os.urandom()")
+    elif parts[0] in ("random",) and len(parts) == 2 \
+            and parts[1] in _RANDOM_FUNCS:
+        yield Source("rng", node.lineno, f"{flat}()")
+    elif parts[0] in ("secrets", "uuid") and len(parts) == 2:
+        yield Source("rng", node.lineno, f"{flat}()")
+    elif (len(parts) == 3 and parts[0] in ("np", "numpy")
+            and parts[1] == "random" and parts[2] in _NP_RANDOM_FUNCS):
+        yield Source("rng", node.lineno, f"{flat}()")
+    elif flat in _ENV_CALLS or flat == "os.environ.get":
+        yield Source("env", node.lineno, f"{flat}()")
+    elif flat in _FS_CALLS:
+        yield Source("fs-order", node.lineno, f"{flat}()")
+    elif (isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_METHODS):
+        yield Source("fs-order", node.lineno, f"{flat}()")
+
+
+class TaintAnalysis:
+    """Direct sources per function plus sink-to-source reachability."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph):
+        self.index = index
+        self.graph = graph
+        #: function qualname -> unsanctioned direct sources, in line order.
+        self.direct: Dict[str, List[Source]] = {}
+        #: declarations that are malformed (no justification, unknown
+        #: kind) — surfaced as violations, never silently dropped.
+        self.bad_declarations: List[BadDeclaration] = []
+        #: (module, line) of declarations that sanctioned at least one
+        #: source — lets callers count sanctioned impurities.
+        self.sanctioned: List[Tuple[str, int, Source]] = []
+        self._analyse()
+
+    # ------------------------------------------------------------------
+    def _analyse(self) -> None:
+        sanctions_by_module: Dict[str, Dict[int, Tuple[frozenset, str]]] = {}
+        for mod_name in sorted(self.index.modules):
+            info = self.index.modules[mod_name]
+            sanctions = _sanctions_for(info)
+            sanctions_by_module[mod_name] = sanctions
+            for line, (kinds, why) in sorted(sanctions.items()):
+                unknown = kinds - IMPURITY_KINDS
+                if unknown:
+                    self.bad_declarations.append(BadDeclaration(
+                        mod_name, line,
+                        f"unknown impurity kind(s) "
+                        f"{', '.join(sorted(unknown))} (known: "
+                        f"{', '.join(sorted(IMPURITY_KINDS))})"))
+                if not why:
+                    self.bad_declarations.append(BadDeclaration(
+                        mod_name, line,
+                        "sanctioned-impurity declaration without a "
+                        "justification — say why this impurity is safe"))
+        for qualname in sorted(self.graph.nodes):
+            fn = self.graph.nodes[qualname]
+            if fn.kind == "class":
+                continue
+            sanctions = sanctions_by_module.get(fn.module, {})
+            kept: List[Source] = []
+            for source in sorted(_iter_sources(fn.node),
+                                 key=lambda s: (s.line, s.kind, s.what)):
+                sanction = sanctions.get(source.line)
+                if sanction and source.kind in sanction[0] and sanction[1]:
+                    self.sanctioned.append((fn.module, source.line, source))
+                    continue
+                kept.append(source)
+            if kept:
+                self.direct[qualname] = kept
+
+    # ------------------------------------------------------------------
+    def trace(self, sink: str) -> Optional[TaintChain]:
+        """Shortest chain from ``sink`` to an unsanctioned source."""
+        seen = {sink}
+        queue: List[Tuple[str, Tuple[str, ...]]] = [(sink, (sink,))]
+        while queue:
+            current, hops = queue.pop(0)
+            sources = self.direct.get(current)
+            if sources:
+                fn = self.graph.nodes[current]
+                info = self.index.modules.get(fn.module)
+                path = info.parsed.display_path if info else fn.module
+                return TaintChain(sink=sink, source=sources[0],
+                                  source_function=current,
+                                  source_path=path, hops=hops)
+            for edge in self.graph.out_edges(current):
+                if edge.callee in seen:
+                    continue
+                seen.add(edge.callee)
+                queue.append((edge.callee, hops + (edge.callee,)))
+        return None
+
+
+def sink_functions(index: ProjectIndex, graph: CallGraph,
+                   config) -> List[Tuple[str, str]]:
+    """(qualname, sink kind) of every taint sink, deterministic order.
+
+    Sinks are: replay-surface builders (``as_dict`` /
+    ``replay_surface`` / ``*_replay_surface``) in the
+    determinism/ledger module scopes, every function and method of the
+    purity modules (``pipeline.hashing`` inputs), and the explicitly
+    configured ``taint-sink-functions`` (e.g. ``FaultPlan.roll``).
+    """
+    surface_scope = list(config.determinism_modules) + list(
+        config.ledger_modules)
+    purity_scope = list(config.purity_modules)
+    explicit = set(config.taint_sink_functions)
+    sinks: List[Tuple[str, str]] = []
+    for qualname in sorted(graph.nodes):
+        fn = graph.nodes[qualname]
+        if fn.kind == "class":
+            continue
+        if qualname in explicit:
+            sinks.append((qualname, "configured sink"))
+            continue
+        name = qualname.rsplit(".", 1)[1]
+        in_scope = any(fn.module == p or fn.module.startswith(p + ".")
+                       for p in surface_scope)
+        if in_scope and (name in ("as_dict", "replay_surface")
+                         or name.endswith("_replay_surface")):
+            sinks.append((qualname, "replay surface"))
+            continue
+        in_purity = any(fn.module == p or fn.module.startswith(p + ".")
+                        for p in purity_scope)
+        if in_purity and not name.startswith("__"):
+            sinks.append((qualname, "cache-key path"))
+    return sinks
