@@ -1,4 +1,4 @@
-"""Sharded serving end to end: router → replicas → seeded failover.
+"""Sharded serving end to end: router → replicas → seeded self-healing.
 
 Walks the whole cluster story from docs/cluster.md:
 
@@ -11,9 +11,16 @@ Walks the whole cluster story from docs/cluster.md:
 3. rerun the identical crash scenario and show the fleet stats are
    byte-identical — failures are part of the replay surface;
 4. take every replica down with no retry budget and show nothing is
-   shed silently: each lost request carries a typed reason.
+   shed silently: each lost request carries a typed reason;
+5. let the crashed replica *recover* (`--recover-after`): it rejoins
+   the ring as a new incarnation with a cold L1 and re-warms through
+   L2 promotion — the ring heals to fresh-ring placement exactly;
+6. stretch one replica's service times (`--slow-replica`) and arm a
+   circuit breaker: the straggler is routed around and its queue
+   hedged to healthy replicas, no retry budget spent.
 
-Run:  python examples/cluster_loadtest.py [--requests 64 --scale 0.004]
+Run:  python examples/cluster_loadtest.py [--requests 64 --scale 0.004
+      --recover-after 0.05 --slow-replica 0 --slow-factor 3.0]
 """
 
 import argparse
@@ -32,12 +39,13 @@ from repro.serve import (
 from repro.train.trainer import build_model
 
 
-def make_cluster(model, policy, fault_plan=None):
+def make_cluster(model, policy, fault_plan=None, **config_kwargs):
     config = ClusterConfig(
         num_replicas=3, policy=policy,
         server=ServerConfig(
             queue_capacity=16,
-            policy=BatchingPolicy(max_batch_size=8)))
+            policy=BatchingPolicy(max_batch_size=8)),
+        **config_kwargs)
     return Cluster(model, config, fault_plan=fault_plan)
 
 
@@ -50,6 +58,13 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=64)
     parser.add_argument("--scale", type=float, default=0.004)
+    parser.add_argument("--recover-after", type=float, default=0.05,
+                        help="seconds (sim) before a crashed replica "
+                             "rejoins in section 5")
+    parser.add_argument("--slow-replica", type=int, default=0,
+                        help="replica id straggling in section 6")
+    parser.add_argument("--slow-factor", type=float, default=3.0,
+                        help="service-time multiplier for the straggler")
     args = parser.parse_args()
 
     dataset = load_dataset("ZINC", scale=args.scale)
@@ -106,6 +121,42 @@ def main():
     except ClusterError as exc:
         print(f"response_for({lost.request_id}) -> ClusterError: {exc}")
     assert wiped.stats.received == wiped.stats.served + wiped.stats.failed
+
+    print("\n== 5. the crash heals: recovery and L1 re-warm ==")
+    healing = FaultPlan(seed=0, crash_replicas=(1,),
+                        crash_after_batches=1,
+                        recover_after_s=args.recover_after,
+                        recover_jitter_s=args.recover_after / 5)
+    healed = make_cluster(model, "hash-affinity", healing).run(
+        make_requests(pool, args.requests), retry_policy=retry).stats
+    rec = healed.recoveries[0]
+    print(f"replica {rec.replica_id} rejoined at "
+          f"{rec.recovered_at_s * 1e3:.1f} ms (sim) as incarnation "
+          f"{rec.incarnation}, "
+          f"{(rec.recovered_at_s - rec.crashed_at_s) * 1e3:.1f} ms "
+          f"after the crash")
+    print(f"ring arcs net {healed.rebalanced_arcs} — the healed ring "
+          f"routes like one that never lost the replica")
+    print(f"cold-L1 warm-up: {rec.warmup_l1_hits}/{rec.warmup_lookups} "
+          f"L1 (rate {rec.warmup_l1_hit_rate:.2f}), "
+          f"{rec.warmup_l2_hits} promoted from L2, first L1 hit after "
+          f"{rec.lookups_to_first_l1_hit} lookups")
+    assert healed.recovered_replicas == 1 and healed.rebalanced_arcs == 0
+
+    print("\n== 6. straggler routed around: breaker + hedging ==")
+    sluggish = FaultPlan(seed=0, slow_replicas=(args.slow_replica,),
+                         slow_factor=args.slow_factor)
+    guarded = make_cluster(model, "hash-affinity", sluggish,
+                           breaker_threshold=2).run(
+        make_requests(pool, args.requests), retry_policy=retry).stats
+    print(f"replica {args.slow_replica} serving "
+          f"{args.slow_factor:.0f}x slow: breaker tripped "
+          f"{guarded.breaker_trips}x, {guarded.hedges} queued requests "
+          f"hedged to healthy replicas (no retry budget spent)")
+    print(f"{guarded.served}/{guarded.received} served, "
+          f"{guarded.failed} failed — slowness alone is not an error")
+    assert guarded.received == (guarded.served + guarded.failed
+                                + guarded.shed)
 
 
 if __name__ == "__main__":

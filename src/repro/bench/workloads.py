@@ -203,7 +203,16 @@ def run_serve_bursty(seed: int) -> LedgerEntry:
 # ---------------------------------------------------------------------------
 
 def _cluster_entry(name: str, policy: str, seed: int,
-                   fault_plan=None) -> LedgerEntry:
+                   fault_plan=None, cluster_kwargs=None,
+                   extra_metrics=None) -> LedgerEntry:
+    """One clustered loadtest as a ledger entry.
+
+    ``cluster_kwargs`` feeds extra :class:`ClusterConfig` knobs (the
+    self-healing workloads' breaker/brownout settings);
+    ``extra_metrics`` is an optional ``stats -> dict`` hook for
+    workload-specific gated claims (e.g. the post-rejoin L1 warm-up
+    hit rate).
+    """
     from repro.cluster import Cluster, ClusterConfig
     from repro.resilience import RetryPolicy
     from repro.serve import (ArrivalProcess, BatchingPolicy, ServerConfig,
@@ -223,7 +232,8 @@ def _cluster_entry(name: str, policy: str, seed: int,
             server=ServerConfig(queue_capacity=16,
                                 policy=BatchingPolicy(max_batch_size=8,
                                                       max_wait_s=0.02,
-                                                      bucket_width=16))))
+                                                      bucket_width=16)),
+            **(cluster_kwargs or {})))
     result = cluster.run(requests,
                          retry_policy=RetryPolicy(max_attempts=3))
     stats = result.stats
@@ -231,10 +241,15 @@ def _cluster_entry(name: str, policy: str, seed: int,
         "received": stats.received,
         "served": stats.served,
         "failed": stats.failed,
+        "shed": stats.shed,
+        "shed_events": stats.shed_events,
         "rejected": stats.rejected,
         "retried": stats.retried,
         "failovers": stats.failovers,
+        "hedges": stats.hedges,
         "crashed_replicas": stats.crashed_replicas,
+        "recovered_replicas": stats.recovered_replicas,
+        "breaker_trips": stats.breaker_trips,
         "rebalanced_arcs": stats.rebalanced_arcs,
         "num_batches": stats.num_batches,
         "p50_latency_s": stats.p50_latency_s,
@@ -248,6 +263,8 @@ def _cluster_entry(name: str, policy: str, seed: int,
         "l1_hit_rate": stats.tier.l1_hit_rate,
         "l2_hit_rate": stats.tier.l2_hit_rate,
     }
+    if extra_metrics is not None:
+        metrics.update(extra_metrics(stats))
     config = {"dataset": "ZINC", "scale": SMALL_SCALE, "model": "GCN",
               "arrival": "poisson", "rate_rps": 400.0, "num_requests": 64,
               "num_replicas": 3, "policy": policy,
@@ -255,6 +272,14 @@ def _cluster_entry(name: str, policy: str, seed: int,
     if fault_plan is not None:
         config["crash_replicas"] = len(fault_plan.crash_replicas)
         config["crash_after_batches"] = fault_plan.crash_after_batches
+        if fault_plan.recovers:
+            config["recover_after_s"] = fault_plan.recover_after_s
+            config["recover_jitter_s"] = fault_plan.recover_jitter_s
+        if fault_plan.slow_replicas:
+            config["slow_replicas"] = len(fault_plan.slow_replicas)
+            config["slow_factor"] = fault_plan.slow_factor
+    for key, value in sorted((cluster_kwargs or {}).items()):
+        config[key] = value
     return LedgerEntry(
         workload=name, seed=seed,
         fingerprint=workload_fingerprint(pool, MegaConfig(), name),
@@ -292,6 +317,55 @@ def run_cluster_failover(seed: int) -> LedgerEntry:
                      crash_after_batches=2)
     return _cluster_entry("cluster_failover", "hash-affinity", seed,
                           fault_plan=plan)
+
+
+@_register("cluster_recovery", "cluster",
+           "3-replica cluster where a pinned replica crashes, rejoins "
+           "after a seeded delay and re-warms its cold L1 through L2 "
+           "promotion (post-rejoin hit rate is the gated claim)")
+def run_cluster_recovery(seed: int) -> LedgerEntry:
+    from repro.resilience import FaultPlan
+
+    plan = FaultPlan(seed=seed, crash_replicas=(1,),
+                     crash_after_batches=1, recover_after_s=0.05,
+                     recover_jitter_s=0.01)
+
+    def recovery_metrics(stats):
+        record = stats.recoveries[0]
+        return {
+            "post_rejoin_lookups": record.warmup_lookups,
+            "post_rejoin_l1_hit_rate": record.warmup_l1_hit_rate,
+            "post_rejoin_l2_hits": record.warmup_l2_hits,
+            "lookups_to_first_l1_hit": record.lookups_to_first_l1_hit,
+        }
+
+    return _cluster_entry("cluster_recovery", "hash-affinity", seed,
+                          fault_plan=plan,
+                          extra_metrics=recovery_metrics)
+
+
+@_register("cluster_brownout", "cluster",
+           "3-replica cluster that loses two replicas under a 0.9 "
+           "brownout watermark: deterministic load shedding with "
+           "capacity-scaled retry-after hints")
+def run_cluster_brownout(seed: int) -> LedgerEntry:
+    from repro.resilience import FaultPlan
+
+    plan = FaultPlan(seed=seed, crash_replicas=(1, 2),
+                     crash_after_batches=0)
+
+    def brownout_metrics(stats):
+        turned_away = stats.shed + stats.served
+        return {
+            "shed_fraction": (stats.shed / turned_away
+                              if turned_away else 0.0),
+        }
+
+    return _cluster_entry("cluster_brownout", "hash-affinity", seed,
+                          fault_plan=plan,
+                          cluster_kwargs={"brownout_watermark": 0.9,
+                                          "shed_retry_after_s": 0.01},
+                          extra_metrics=brownout_metrics)
 
 
 # ---------------------------------------------------------------------------

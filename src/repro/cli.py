@@ -246,6 +246,28 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--replica-failure-rate", type=float, default=0.0,
                         help="seeded per-batch-launch crash probability "
                              "for unpinned replicas")
+    parser.add_argument("--recover-after", type=float, default=-1.0,
+                        help="simulated seconds before a crashed replica "
+                             "rejoins (negative: crashes are permanent)")
+    parser.add_argument("--recover-jitter", type=float, default=0.0,
+                        help="seeded per-replica spread added to "
+                             "--recover-after")
+    parser.add_argument("--slow-replica", type=int, action="append",
+                        default=None, metavar="ID",
+                        help="pin this replica as a straggler "
+                             "(repeatable)")
+    parser.add_argument("--slow-factor", type=float, default=1.0,
+                        help="service-time multiplier for straggling "
+                             "batches")
+    parser.add_argument("--breaker-threshold", type=int, default=0,
+                        help="consecutive slow batches that trip a "
+                             "replica's circuit breaker (0: disabled)")
+    parser.add_argument("--breaker-cooldown", type=float, default=0.05,
+                        help="base seconds before a tripped breaker "
+                             "half-opens")
+    parser.add_argument("--brownout-watermark", type=float, default=0.0,
+                        help="alive fraction below which admission "
+                             "sheds load (0: disabled)")
 
 
 def _load_cli_model(args: argparse.Namespace):
@@ -294,18 +316,29 @@ def _build_cluster(args: argparse.Namespace):
     cache = ScheduleCache(cache_dir) if cache_dir is not None else None
     crash = tuple(getattr(args, "crash_replica", None) or ())
     rate = getattr(args, "replica_failure_rate", 0.0)
+    slow = tuple(getattr(args, "slow_replica", None) or ())
+    slow_factor = getattr(args, "slow_factor", 1.0)
+    recover_after = getattr(args, "recover_after", -1.0)
     fault_plan = None
-    if crash or rate > 0.0:
+    if crash or rate > 0.0 or slow or recover_after >= 0.0:
         fault_plan = FaultPlan(
             seed=args.seed, replica_failure_rate=rate,
             crash_replicas=crash,
-            crash_after_batches=getattr(args, "crash_after", 0))
+            crash_after_batches=getattr(args, "crash_after", 0),
+            recover_after_s=recover_after,
+            recover_jitter_s=getattr(args, "recover_jitter", 0.0),
+            slow_replicas=slow,
+            slow_factor=slow_factor)
     cluster = Cluster(
         loaded.model, cache=cache, fault_plan=fault_plan,
-        config=ClusterConfig(num_replicas=args.replicas,
-                             policy=args.policy,
-                             vnodes=getattr(args, "vnodes", 64),
-                             server=_server_config(args)))
+        config=ClusterConfig(
+            num_replicas=args.replicas,
+            policy=args.policy,
+            vnodes=getattr(args, "vnodes", 64),
+            server=_server_config(args),
+            breaker_threshold=getattr(args, "breaker_threshold", 0),
+            breaker_cooldown_s=getattr(args, "breaker_cooldown", 0.05),
+            brownout_watermark=getattr(args, "brownout_watermark", 0.0)))
     return loaded, cluster
 
 
@@ -347,10 +380,24 @@ def _print_cluster_report(stats, as_json: bool) -> None:
               f"{stats.failovers} requests re-routed, "
               f"{stats.rebalanced_arcs} ring arcs rebalanced, "
               f"{stats.failed} failed")
+    for rec in stats.recoveries:
+        print(f"  recovery: replica {rec.replica_id} rejoined at "
+              f"{rec.recovered_at_s * 1e3:.2f} ms "
+              f"(incarnation {rec.incarnation}); warm-up "
+              f"{rec.warmup_l1_hits}/{rec.warmup_lookups} L1 "
+              f"(rate {rec.warmup_l1_hit_rate:.2f}), first L1 hit "
+              f"after {rec.lookups_to_first_l1_hit} lookups")
+    if stats.shed_events:
+        print(f"  brownout: {stats.shed} request(s) shed terminally, "
+              f"{stats.shed_events} shed events total")
+    if stats.breaker_trips:
+        print(f"  breaker: {stats.breaker_trips} trip(s), "
+              f"{stats.hedges} request(s) hedged off stragglers")
     for rec in stats.replicas:
         fate = (f"CRASHED at {rec.crashed_at_s * 1e3:.2f} ms"
                 if rec.crashed else "ok")
-        print(f"  replica {rec.replica_id}: {rec.stats.served} served, "
+        print(f"  replica {rec.replica_id}.{rec.incarnation}: "
+              f"{rec.stats.served} served, "
               f"{len(rec.stats.batches)} batches, "
               f"L1 {rec.tier.l1_hits}/{rec.tier.lookups} — {fate}")
 

@@ -15,12 +15,18 @@ deterministic replicas behind a router, still byte-replayable:
   :class:`~repro.serve.server.ServerEngine` replicas, with seeded
   replica crashes (:meth:`repro.resilience.FaultPlan.replica_fails`),
   ring rebalancing and bounded failover.
+- :mod:`repro.cluster.health` — the self-healing layer: per-replica
+  ``alive -> crashed -> recovering -> alive`` state machines, seeded
+  replica recovery with cold-L1 warm-up records, straggler circuit
+  breakers with hedged failover, and brownout admission control.
 - :mod:`repro.cluster.stats` — :class:`ClusterStats`: fleet
-  p50/p95/p99, throughput, per-tier hit rates, failover and rebalance
-  counts; ``as_dict()`` is the byte-identical replay surface.
+  p50/p95/p99, throughput, per-tier hit rates, failover, recovery,
+  shed and rebalance counts; ``as_dict()`` is the byte-identical
+  replay surface.
 
-Two seeded cluster loadtests — crashes included — produce identical
-stats bytes; see ``docs/cluster.md`` for the routing/failover matrix.
+Two seeded cluster loadtests — crashes, recoveries and stragglers
+included — produce identical stats bytes; see ``docs/cluster.md`` for
+the routing/failover matrix.
 """
 
 from repro.cluster.cache import (
@@ -29,6 +35,16 @@ from repro.cluster.cache import (
     TierStats,
 )
 from repro.cluster.cluster import Cluster, ClusterConfig, ClusterResult
+from repro.cluster.health import (
+    BREAKER_STATES,
+    BrownoutController,
+    CircuitBreaker,
+    FleetHealth,
+    HEALTH_STATES,
+    HealthTransition,
+    RecoveryRecord,
+    ReplicaHealth,
+)
 from repro.cluster.routing import (
     HashAffinityPolicy,
     HashRing,
@@ -43,6 +59,7 @@ from repro.cluster.stats import (
     FailedRequest,
     FAILURE_REASONS,
     ReplicaRecord,
+    ShedRequest,
 )
 
 __all__ = [
@@ -52,6 +69,14 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "ClusterResult",
+    "HEALTH_STATES",
+    "BREAKER_STATES",
+    "HealthTransition",
+    "ReplicaHealth",
+    "CircuitBreaker",
+    "BrownoutController",
+    "RecoveryRecord",
+    "FleetHealth",
     "HashRing",
     "LoadBalancePolicy",
     "RoundRobinPolicy",
@@ -62,5 +87,6 @@ __all__ = [
     "ClusterStats",
     "ReplicaRecord",
     "FailedRequest",
+    "ShedRequest",
     "FAILURE_REASONS",
 ]

@@ -144,6 +144,10 @@ class ReplicaScheduleView:
         self._l1: Dict[str, Tuple] = {}
         self.stats = CacheStats()
         self.tier = TierStats()
+        #: Lookups served before the first L1 hit (-1 until one lands).
+        #: For a view created at a replica rejoin this is the cold-L1
+        #: warm-up length the recovery records surface.
+        self.lookups_to_first_l1_hit = -1
 
     def resolve(self, graph: Graph) -> Tuple[PathRepresentation, bool]:
         """Path representation for ``graph``; True when cache-served."""
@@ -151,6 +155,8 @@ class ReplicaScheduleView:
         key = schedule_cache_key(graph, config)
         entry = self._l1.get(key)
         if entry is not None:
+            if self.lookups_to_first_l1_hit < 0:
+                self.lookups_to_first_l1_hit = self.tier.lookups
             self.stats.hits += 1
             self.tier.l1_hits += 1
             self.parent.tier.l1_hits += 1

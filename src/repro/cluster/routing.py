@@ -24,7 +24,15 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Sequence, Tuple, Type
+from typing import (
+    AbstractSet,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.errors import ClusterError
 
@@ -74,15 +82,47 @@ class HashRing:
         self._points = [(p, r) for p, r in self._points if r != replica_id]
         return before - len(self._points)
 
-    def route(self, key: str) -> int:
-        """Replica owning ``key`` (a hex content digest)."""
+    def add(self, replica_id: int) -> int:
+        """Re-insert a replica's points; returns the arcs it reclaims.
+
+        A replica's point positions are a pure function of
+        ``(replica_id, vnode)``, so ``add`` after ``remove`` rebuilds
+        *exactly* the fresh-ring placement: routing is byte-identical
+        to a ring that never lost the replica (the recovery property
+        test), and the reclaimed-arc count is the inverse of
+        ``remove``'s rebalance cost.  Adding a replica already on the
+        ring is an error — the caller's health bookkeeping is broken.
+        """
+        if replica_id in {rid for _, rid in self._points}:
+            raise ClusterError(
+                f"replica {replica_id} is already on the ring")
+        for v in range(self.vnodes):
+            bisect.insort(self._points, (self._point(replica_id, v),
+                                         replica_id))
+        return self.vnodes
+
+    def route(self, key: str,
+              allowed: Optional[AbstractSet[int]] = None) -> int:
+        """Replica owning ``key`` (a hex content digest).
+
+        With ``allowed``, the clockwise walk skips points of replicas
+        outside the set — the router's way of steering around a replica
+        whose circuit breaker is open without disturbing the ring (its
+        arcs come straight back when the breaker closes).
+        """
         if not self._points:
             raise ClusterError("routing on an empty ring (no replicas)")
+        if allowed is not None and not allowed:
+            raise ClusterError("routing with an empty allowed set")
         h = int(key[:_RING_HEX_DIGITS], 16)
-        i = bisect.bisect_left(self._points, (h, -1))
-        if i == len(self._points):
-            i = 0
-        return self._points[i][1]
+        start = bisect.bisect_left(self._points, (h, -1))
+        n = len(self._points)
+        for step in range(n):
+            _, rid = self._points[(start + step) % n]
+            if allowed is None or rid in allowed:
+                return rid
+        raise ClusterError(
+            f"no ring point belongs to the allowed set {sorted(allowed)}")
 
 
 class LoadBalancePolicy:
@@ -142,7 +182,9 @@ class HashAffinityPolicy(LoadBalancePolicy):
     def choose(self, key: str, alive: Sequence[Tuple[int, int]],
                ring: HashRing) -> int:
         self._require_alive(alive)
-        return ring.route(key)
+        # The ring may still hold replicas the router is steering
+        # around (open circuit breakers); walk past their points.
+        return ring.route(key, allowed={rid for rid, _ in alive})
 
 
 class LeastQueuePolicy(LoadBalancePolicy):

@@ -72,16 +72,37 @@ class FaultPlan:
         aggregation round (see :mod:`repro.distributed.failures`).
     replica_failure_rate:
         Probability that a serving-cluster replica crashes at a given
-        batch launch (see :mod:`repro.cluster`).  Replica crashes are
-        *permanent for the run* — the router fails the replica over,
-        so boundedness comes from the surviving replicas, not from
-        ``max_faults_per_site``.
+        batch launch (see :mod:`repro.cluster`).  The router fails the
+        replica over, so boundedness comes from the surviving replicas,
+        not from ``max_faults_per_site``; with ``recover_after_s`` set
+        the replica later rejoins the fleet (see
+        :mod:`repro.cluster.health`).
     crash_replicas:
         Replica ids pinned to crash deterministically (the failover
-        tests' precise trigger), independent of the rate.
+        tests' precise trigger), independent of the rate.  Pinned
+        crashes fire once per replica: a recovered incarnation rolls
+        only against the rate.
     crash_after_batches:
         Batch-launch index at which a pinned replica crashes (0 means
         before serving anything).
+    recover_after_s:
+        Simulated seconds after a crash before the replica rejoins the
+        fleet (cold caches, fresh engine).  Negative (the default)
+        disables recovery — crashes stay permanent for the run.
+    recover_jitter_s:
+        Per-replica seeded spread added to ``recover_after_s`` (a
+        ``roll`` keyed on the replica and its incarnation), so a
+        simultaneous fleet-wide outage does not heal as a thundering
+        herd.
+    slow_replicas:
+        Replica ids pinned as stragglers: every batch they launch is
+        stretched by ``slow_factor``.
+    slow_factor:
+        Service-time multiplier (``>= 1``) applied to straggling
+        batches — pinned replicas always, others per ``slow_rate``.
+    slow_rate:
+        Probability that an unpinned replica's batch launch straggles
+        (rolled per ``(replica, lifetime batch)``).
     max_faults_per_site:
         Attempts ``>=`` this index never fault, bounding transient
         faults so default retry policies always recover.
@@ -98,12 +119,17 @@ class FaultPlan:
     replica_failure_rate: float = 0.0
     crash_replicas: Tuple[int, ...] = field(default_factory=tuple)
     crash_after_batches: int = 0
+    recover_after_s: float = -1.0
+    recover_jitter_s: float = 0.0
+    slow_replicas: Tuple[int, ...] = field(default_factory=tuple)
+    slow_factor: float = 1.0
+    slow_rate: float = 0.0
     max_faults_per_site: int = 2
 
     def __post_init__(self) -> None:
         for name in ("worker_crash_rate", "io_error_rate",
                      "cache_corrupt_rate", "node_failure_rate",
-                     "replica_failure_rate"):
+                     "replica_failure_rate", "slow_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(f"{name} must be in [0, 1], got {rate}")
@@ -111,11 +137,19 @@ class FaultPlan:
             raise ConfigError("max_faults_per_site must be >= 0")
         if self.crash_after_batches < 0:
             raise ConfigError("crash_after_batches must be >= 0")
+        if self.slow_factor < 1.0:
+            raise ConfigError(
+                f"slow_factor must be >= 1, got {self.slow_factor}")
+        if self.recover_jitter_s < 0.0:
+            raise ConfigError(
+                f"recover_jitter_s must be >= 0, got {self.recover_jitter_s}")
         # Tolerate lists from JSON round-trips.
         object.__setattr__(self, "nan_epochs", tuple(self.nan_epochs))
         object.__setattr__(self, "poison_graphs", tuple(self.poison_graphs))
         object.__setattr__(self, "crash_replicas",
                            tuple(self.crash_replicas))
+        object.__setattr__(self, "slow_replicas",
+                           tuple(self.slow_replicas))
 
     # ------------------------------------------------------------------
     # The deterministic coin
@@ -166,21 +200,63 @@ class FaultPlan:
         return (self.roll("node", round_index, rank)
                 < self.node_failure_rate)
 
-    def replica_fails(self, replica_id: int, batch_index: int) -> bool:
+    def replica_fails(self, replica_id: int, batch_index: int,
+                      incarnation: int = 0) -> bool:
         """Does serving replica ``replica_id`` crash when launching its
-        ``batch_index``-th micro-batch?
+        ``batch_index``-th lifetime micro-batch?
 
         Pinned replicas (``crash_replicas``) crash deterministically
-        once ``batch_index`` reaches ``crash_after_batches``; everyone
-        else rolls against ``replica_failure_rate``.  A crash is
-        permanent for the run — the cluster router re-routes the
-        replica's work instead of retrying the replica.
+        once ``batch_index`` reaches ``crash_after_batches`` — but only
+        in their first incarnation, so a recovered replica is not stuck
+        in a pinned crash loop.  Everyone else rolls against
+        ``replica_failure_rate``; ``batch_index`` counts launches
+        across incarnations, so a recovered replica rolls fresh
+        coordinates.  The cluster router re-routes a crashed replica's
+        work; with ``recover_after_s`` set the replica later rejoins
+        (see :meth:`recovery_delay`).
         """
-        if (replica_id in self.crash_replicas
+        if (incarnation == 0 and replica_id in self.crash_replicas
                 and batch_index >= self.crash_after_batches):
             return True
         return (self.roll("replica", replica_id, batch_index)
                 < self.replica_failure_rate)
+
+    @property
+    def recovers(self) -> bool:
+        """Do crashed serving replicas rejoin the fleet?"""
+        return self.recover_after_s >= 0.0
+
+    def recovery_delay(self, replica_id: int, incarnation: int = 0
+                       ) -> float:
+        """Seconds between ``replica_id``'s crash and its rejoin.
+
+        ``recover_after_s`` plus a seeded per-``(replica, incarnation)``
+        share of ``recover_jitter_s``; raises unless :attr:`recovers`.
+        """
+        if not self.recovers:
+            raise ConfigError(
+                "recovery_delay on a plan without recovery "
+                "(recover_after_s < 0)")
+        return (self.recover_after_s
+                + self.roll("recover", replica_id, incarnation)
+                * self.recover_jitter_s)
+
+    def service_multiplier(self, replica_id: int, batch_index: int
+                           ) -> float:
+        """Straggler stretch for one batch launch (1.0 = healthy).
+
+        Pinned ``slow_replicas`` straggle on every launch; others roll
+        ``slow_rate`` per ``(replica, lifetime batch)``.  The cluster
+        multiplies the analytic service time by the returned factor,
+        which is what the per-replica circuit breaker observes.
+        """
+        if replica_id in self.slow_replicas:
+            return self.slow_factor
+        if (self.slow_rate > 0.0
+                and self.roll("slow", replica_id, batch_index)
+                < self.slow_rate):
+            return self.slow_factor
+        return 1.0
 
     def crash(self, site: str, *coords) -> None:
         """Raise the canonical injected (transient) fault for a site."""

@@ -37,6 +37,7 @@ from repro.serve.queueing import (
     InferenceRequest,
     InferenceResponse,
     QueuedRequest,
+    scale_retry_after,
 )
 from repro.serve.registry import LoadedModel, ModelRegistry, ModelSpec
 from repro.serve.server import (
@@ -59,6 +60,7 @@ __all__ = [
     "InferenceRequest",
     "InferenceResponse",
     "QueuedRequest",
+    "scale_retry_after",
     "ModelRegistry",
     "ModelSpec",
     "LoadedModel",

@@ -81,6 +81,29 @@ class InferenceResponse:
         return self.completed_s - self.submitted_s
 
 
+def scale_retry_after(base_s: float, alive: int, total: int) -> float:
+    """Stretch a retry-after hint by the fleet's lost capacity.
+
+    ``base_s * total / alive``: at full capacity the hint is unchanged,
+    and it grows monotonically as replicas drop — a fleet at one third
+    capacity tells clients to back off three times as long.  The
+    cluster's brownout admission controller applies this to both
+    queue-full and shed-capacity hints so the client-side
+    :class:`~repro.resilience.RetryPolicy` (which takes the max of hint
+    and its own backoff) naturally slows under degraded capacity.
+    """
+    if total < 1 or alive < 1:
+        raise ConfigError(
+            f"scale_retry_after needs alive >= 1 and total >= 1, "
+            f"got alive={alive}, total={total}")
+    if alive > total:
+        raise ConfigError(
+            f"alive ({alive}) cannot exceed total ({total})")
+    if base_s < 0.0:
+        raise ConfigError(f"base_s must be >= 0, got {base_s}")
+    return base_s * (total / alive)
+
+
 class BoundedRequestQueue:
     """FIFO admission queue with a hard capacity and depth accounting."""
 

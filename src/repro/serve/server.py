@@ -241,9 +241,20 @@ class ServerEngine:
             return None
         return self.batcher.next_deadline(self.queue.entries())
 
-    def launch(self, plan: BatchPlan, now_s: float
+    def launch(self, plan: BatchPlan, now_s: float,
+               service_scale: float = 1.0
                ) -> Tuple[float, List[InferenceResponse]]:
-        """Execute ``plan``; returns (completion time, responses)."""
+        """Execute ``plan``; returns (completion time, responses).
+
+        ``service_scale`` stretches the analytic service time — the
+        cluster's straggler injection (:meth:`repro.resilience
+        .FaultPlan.service_multiplier`).  The stretched time is what
+        lands in the batch record and the latencies, i.e. what a
+        latency-watching circuit breaker observes.
+        """
+        if service_scale < 1.0:
+            raise ServeError(
+                f"service_scale must be >= 1, got {service_scale}")
         self.queue.remove(plan.entries)
         batch = GraphBatch([e.request.graph for e in plan.entries])
         runtime = MegaRuntime(batch, [e.path for e in plan.entries])
@@ -252,7 +263,8 @@ class ServerEngine:
             self.model.model_name, runtime, GPUDevice(self.device_spec),
             self.model.config.hidden_dim, self.model.config.num_layers)
         service_s = (profiler.total_time
-                     + self.config.miss_penalty_s * plan.schedule_misses)
+                     + self.config.miss_penalty_s
+                     * plan.schedule_misses) * service_scale
         batch_id = len(self.stats.batches)
         self.stats.batches.append(BatchRecord(
             batch_id=batch_id, launch_s=now_s, service_s=service_s,

@@ -53,12 +53,14 @@ def make_cluster(model):
     from repro.serve import BatchingPolicy, ServerConfig
 
     def _make(replicas=3, policy="hash-affinity", fault_plan=None,
-              queue_capacity=16, max_batch=8, cache=None, vnodes=64):
+              queue_capacity=16, max_batch=8, cache=None, vnodes=64,
+              **config_kwargs):
         config = ClusterConfig(
             num_replicas=replicas, policy=policy, vnodes=vnodes,
             server=ServerConfig(
                 queue_capacity=queue_capacity,
-                policy=BatchingPolicy(max_batch_size=max_batch)))
+                policy=BatchingPolicy(max_batch_size=max_batch)),
+            **config_kwargs)
         return Cluster(model, config, cache=cache, fault_plan=fault_plan)
 
     return _make

@@ -24,7 +24,8 @@ class TestClusterCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "cluster[hash-affinity]: 64/64 served" in out
-        assert "replica 0:" in out and "replica 2:" in out
+        # Replica lines are per incarnation: "replica <id>.<inc>:".
+        assert "replica 0.0:" in out and "replica 2.0:" in out
 
     def test_seeded_crash_replays_byte_identically(self, capsys):
         argv = ["cluster", *CLUSTER_ARGS, "--replicas", "3",
@@ -57,6 +58,62 @@ class TestClusterCommand:
         code = main(["cluster", *CLUSTER_ARGS, "--replicas", "0"])
         assert code == 2
         assert "num_replicas" in capsys.readouterr().err
+
+
+class TestSelfHealingFlags:
+    def test_recover_after_heals_the_fleet(self, capsys):
+        argv = ["cluster", *CLUSTER_ARGS, "--replicas", "3",
+                "--crash-replica", "1", "--crash-after", "1",
+                "--recover-after", "0.05", "--retries", "4", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second           # replay includes recovery
+        payload = json.loads(first[first.index("{"):])
+        assert payload["recovered_replicas"] == 1
+        assert payload["rebalanced_arcs"] == 0   # arcs reclaimed
+        assert payload["recoveries"][0]["replica_id"] == 1
+        assert payload["received"] == (payload["served"]
+                                       + payload["failed"]
+                                       + payload["shed"])
+
+    def test_recovery_report_shows_warmup(self, capsys):
+        code = main(["cluster", *CLUSTER_ARGS, "--replicas", "3",
+                     "--crash-replica", "1", "--crash-after", "1",
+                     "--recover-after", "0.05", "--retries", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery: replica 1 rejoined" in out
+        assert "replica 1.1:" in out     # the second incarnation
+
+    def test_slow_replica_with_breaker_hedges(self, capsys):
+        code = main(["cluster", *CLUSTER_ARGS, "--replicas", "3",
+                     "--slow-replica", "0", "--slow-factor", "3.0",
+                     "--breaker-threshold", "2", "--retries", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "breaker:" in out and "hedged" in out
+
+    def test_brownout_watermark_sheds(self, capsys):
+        argv = ["cluster", *CLUSTER_ARGS, "--replicas", "3",
+                "--crash-replica", "1", "--crash-replica", "2",
+                "--crash-after", "0", "--brownout-watermark", "0.9",
+                "--json"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["shed"] > 0
+        assert payload["sheds"][0]["reason"] == "shed-capacity"
+        assert payload["received"] == (payload["served"]
+                                       + payload["failed"]
+                                       + payload["shed"])
+
+    def test_bad_brownout_watermark_exits_2(self, capsys):
+        code = main(["cluster", *CLUSTER_ARGS, "--replicas", "2",
+                     "--brownout-watermark", "1.5"])
+        assert code == 2
+        assert "brownout_watermark" in capsys.readouterr().err
 
 
 class TestClusteredLoadtest:

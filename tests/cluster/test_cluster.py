@@ -63,9 +63,10 @@ class TestDeterministicReplay:
 
 class TestNoSilentDrops:
     def assert_accounted(self, stats):
-        assert stats.received == stats.served + stats.failed
+        assert stats.received == stats.served + stats.failed + stats.shed
         assert stats.attempts == stats.admitted + stats.rejected
         assert len(stats.failures) == stats.failed
+        assert len(stats.sheds) == stats.shed
         assert len(stats.latencies_s) == stats.served
 
     def test_fault_free_run_serves_everything(self, make_cluster,
@@ -231,6 +232,275 @@ class TestPoliciesUnderLoad:
         assert all(s > 0 for s in served)
 
 
+class TestRecovery:
+    PLAN = FaultPlan(seed=0, crash_replicas=(1,), crash_after_batches=1,
+                     recover_after_s=0.05, recover_jitter_s=0.01)
+
+    def test_replica_rejoins_and_serves_again(self, make_cluster,
+                                              make_requests):
+        result = make_cluster(fault_plan=self.PLAN).run(
+            make_requests(), retry_policy=RETRY)
+        stats = result.stats
+        assert stats.crashed_replicas == 1
+        assert stats.recovered_replicas == 1
+        assert stats.served == stats.received
+        # One record per incarnation: the dead engine and the rejoin.
+        records = [r for r in stats.replicas if r.replica_id == 1]
+        assert [(r.incarnation, r.crashed) for r in records] == \
+            [(0, True), (1, False)]
+        assert records[1].stats.served > 0    # the rejoin did real work
+
+    def test_recovery_reclaims_ring_arcs(self, make_cluster,
+                                         make_requests):
+        result = make_cluster(fault_plan=self.PLAN).run(
+            make_requests(), retry_policy=RETRY)
+        # remove() handed arcs out; add() took exactly them back.
+        assert result.stats.rebalanced_arcs == 0
+
+    def test_health_machine_walks_the_full_cycle(self, make_cluster,
+                                                 make_requests):
+        result = make_cluster(fault_plan=self.PLAN).run(
+            make_requests(), retry_policy=RETRY)
+        machine = result.stats.health["replicas"][1]
+        edges = [(t["from"], t["to"]) for t in machine["transitions"]]
+        assert edges == [("alive", "crashed"), ("crashed", "recovering"),
+                         ("recovering", "alive")]
+        assert machine["state"] == "alive"
+        assert machine["incarnation"] == 1
+
+    def test_rejoin_starts_with_a_cold_l1(self, make_cluster,
+                                          make_requests):
+        result = make_cluster(fault_plan=self.PLAN).run(
+            make_requests(), retry_policy=RETRY)
+        [record] = result.stats.recoveries
+        assert record.replica_id == 1 and record.incarnation == 1
+        assert record.recovered_at_s > record.crashed_at_s
+        assert record.warmup_lookups > 0
+        # Cold L1: the first post-rejoin lookup cannot be an L1 hit,
+        # so re-warming goes through L2 promotion (the fleet had
+        # already computed these schedules).
+        assert record.lookups_to_first_l1_hit != 0
+        assert record.warmup_l2_hits > 0
+        assert record.warmup_lookups == (record.warmup_l1_hits
+                                         + record.warmup_l2_hits
+                                         + record.warmup_misses)
+
+    def test_recovery_delay_respects_the_plan(self, make_cluster,
+                                              make_requests):
+        result = make_cluster(fault_plan=self.PLAN).run(
+            make_requests(), retry_policy=RETRY)
+        [record] = result.stats.recoveries
+        gap = record.recovered_at_s - record.crashed_at_s
+        assert self.PLAN.recover_after_s <= gap <= \
+            self.PLAN.recover_after_s + self.PLAN.recover_jitter_s
+
+    def test_without_recovery_the_crash_stays_permanent(self,
+                                                        make_cluster,
+                                                        make_requests):
+        plan = FaultPlan(seed=0, crash_replicas=(1,),
+                         crash_after_batches=1)
+        result = make_cluster(fault_plan=plan).run(
+            make_requests(), retry_policy=RETRY)
+        stats = result.stats
+        assert stats.recovered_replicas == 0
+        assert stats.recoveries == []
+        assert stats.health["replicas"][1]["state"] == "crashed"
+
+    def test_self_healing_replay_is_byte_identical(self, make_cluster,
+                                                   make_requests):
+        # The acceptance run: crash + recovery + stragglers together,
+        # twice, byte for byte.
+        plan = FaultPlan(seed=3, crash_replicas=(2,),
+                         crash_after_batches=1, recover_after_s=0.04,
+                         recover_jitter_s=0.02, slow_replicas=(0,),
+                         slow_factor=2.0)
+        runs = [make_cluster(fault_plan=plan, breaker_threshold=2,
+                             breaker_cooldown_s=0.05).run(
+                    make_requests(), retry_policy=RETRY)
+                for _ in range(2)]
+        assert runs[0].stats.recovered_replicas == 1
+        assert stats_bytes(runs[0].stats) == stats_bytes(runs[1].stats)
+
+
+class TestBrownout:
+    PLAN = FaultPlan(seed=0, crash_replicas=(1, 2),
+                     crash_after_batches=0)
+
+    def test_sheds_are_typed_and_hinted(self, make_cluster,
+                                        make_requests):
+        from repro.serve import scale_retry_after
+
+        cluster = make_cluster(fault_plan=self.PLAN,
+                               brownout_watermark=0.9,
+                               shed_retry_after_s=0.01)
+        result = cluster.run(make_requests())
+        stats = result.stats
+        assert stats.received == stats.served + stats.failed + stats.shed
+        assert stats.shed > 0
+        # Crashes land one at a time, so sheds see 2 then 1 alive of 3.
+        legal_hints = {scale_retry_after(0.01, alive=2, total=3),
+                       scale_retry_after(0.01, alive=1, total=3)}
+        for shed in stats.sheds:
+            assert shed.reason == "shed-capacity"
+            assert shed.retry_after_s in legal_hints
+        assert stats.sheds[-1].retry_after_s == \
+            scale_retry_after(0.01, alive=1, total=3)
+        with pytest.raises(ClusterError, match="shed-capacity"):
+            result.response_for(stats.sheds[0].request_id)
+
+    def test_admitted_fraction_tracks_capacity(self, make_cluster,
+                                               make_requests):
+        # 1 of 3 replicas alive under a full brownout: the credit
+        # counter admits ~1/3 of the post-crash stream.
+        result = make_cluster(fault_plan=self.PLAN,
+                              brownout_watermark=1.0,
+                              shed_retry_after_s=0.01).run(
+            make_requests(num=90))
+        stats = result.stats
+        shed_fraction = stats.shed / (stats.shed + stats.served)
+        assert 0.55 <= shed_fraction <= 0.75
+
+    def test_retry_budget_can_outlive_the_brownout(self, make_cluster,
+                                                   make_requests):
+        # With recovery AND retries, shed requests come back after the
+        # scaled hint — some land after the fleet has healed.
+        plan = FaultPlan(seed=0, crash_replicas=(1, 2),
+                        crash_after_batches=0, recover_after_s=0.02)
+        result = make_cluster(fault_plan=plan, brownout_watermark=0.9,
+                              shed_retry_after_s=0.02).run(
+            make_requests(), retry_policy=RetryPolicy(max_attempts=6))
+        stats = result.stats
+        assert stats.shed_events > stats.shed   # retries absorbed some
+        assert stats.recovered_replicas == 2
+        assert stats.received == stats.served + stats.failed + stats.shed
+
+    def test_brownout_replay_is_byte_identical(self, make_cluster,
+                                               make_requests):
+        runs = [make_cluster(fault_plan=self.PLAN,
+                             brownout_watermark=0.9).run(make_requests())
+                for _ in range(2)]
+        assert runs[0].stats.shed > 0
+        assert stats_bytes(runs[0].stats) == stats_bytes(runs[1].stats)
+
+    def test_disabled_brownout_never_sheds(self, make_cluster,
+                                           make_requests):
+        result = make_cluster(fault_plan=self.PLAN).run(
+            make_requests(), retry_policy=RETRY)
+        assert result.stats.shed == 0
+        assert result.stats.shed_events == 0
+
+
+class TestStragglers:
+    def test_slow_replica_stretches_latency(self, make_cluster,
+                                            make_requests):
+        healthy = make_cluster().run(make_requests(), retry_policy=RETRY)
+        slowed = make_cluster(
+            fault_plan=FaultPlan(slow_replicas=(0,), slow_factor=4.0)) \
+            .run(make_requests(), retry_policy=RETRY)
+        assert slowed.stats.p99_latency_s > healthy.stats.p99_latency_s
+        # Without a breaker nothing trips and nothing is hedged.
+        assert slowed.stats.breaker_trips == 0
+        assert slowed.stats.hedges == 0
+
+    def test_breaker_trips_and_hedges(self, make_cluster,
+                                      make_requests):
+        result = make_cluster(
+            fault_plan=FaultPlan(slow_replicas=(0,), slow_factor=3.0),
+            breaker_threshold=2, breaker_cooldown_s=0.05).run(
+            make_requests(), retry_policy=RETRY)
+        stats = result.stats
+        assert stats.breaker_trips > 0
+        assert stats.hedges > 0
+        assert stats.served == stats.received   # hedged, not failed
+        breaker = stats.health["breakers"][0]
+        edges = [(t["from"], t["to"]) for t in breaker["transitions"]]
+        assert ("closed", "open") in edges
+        # The cooldown elapsed at least once and delivered a probe...
+        assert ("open", "half-open") in edges
+        # ...which a pinned straggler can only fail.
+        assert ("half-open", "open") in edges
+        assert breaker["probes"] > 0
+
+    def test_breaker_shifts_load_off_the_straggler(self, make_cluster,
+                                                   make_requests):
+        plan = FaultPlan(slow_replicas=(0,), slow_factor=3.0)
+        guarded = make_cluster(fault_plan=plan, breaker_threshold=2,
+                               breaker_cooldown_s=0.2).run(
+            make_requests(), retry_policy=RETRY)
+        unguarded = make_cluster(fault_plan=plan).run(
+            make_requests(), retry_policy=RETRY)
+
+        def straggler_share(stats):
+            served = {r.replica_id: r.stats.served for r in stats.replicas}
+            return served[0] / stats.served
+
+        assert straggler_share(guarded.stats) < \
+            straggler_share(unguarded.stats)
+
+    def test_straggler_replay_is_byte_identical(self, make_cluster,
+                                                make_requests):
+        plan = FaultPlan(seed=5, slow_rate=0.3, slow_factor=2.5)
+        runs = [make_cluster(fault_plan=plan, breaker_threshold=2,
+                             breaker_cooldown_s=0.05).run(
+                    make_requests(), retry_policy=RETRY)
+                for _ in range(2)]
+        assert stats_bytes(runs[0].stats) == stats_bytes(runs[1].stats)
+
+
+class TestDelayComposition:
+    """The failover delay at the queue-full boundary (satellite fix).
+
+    The resubmission delay is ``max(scaled replica hint, client
+    backoff)`` — deterministic, and monotone in the fleet's lost
+    capacity because :func:`~repro.serve.queueing.scale_retry_after`
+    is monotone in ``total/alive``.
+    """
+
+    def test_scaled_hint_is_monotone_in_lost_capacity(self):
+        from repro.serve import scale_retry_after
+
+        policy = RetryPolicy(max_attempts=4, backoff_base_s=0.005)
+        delays = []
+        for alive in (3, 2, 1):
+            hint = scale_retry_after(0.01, alive=alive, total=3)
+            delays.append(max(hint, policy.delay(0)))
+        assert delays == sorted(delays)           # monotone
+        assert delays[0] == max(0.01, policy.delay(0))
+        assert delays[-1] == max(0.03, policy.delay(0))
+        # Deterministic: same inputs, same composition, every time.
+        assert delays == [
+            max(scale_retry_after(0.01, alive=a, total=3),
+                policy.delay(0)) for a in (3, 2, 1)]
+
+    def test_queue_full_hint_scales_under_lost_capacity(
+            self, make_cluster, make_requests):
+        # One survivor of three, tiny queue, hot stream: the rejected
+        # requests resubmit on the capacity-scaled hint and the run
+        # still accounts for everything.
+        plan = FaultPlan(seed=0, crash_replicas=(1, 2),
+                         crash_after_batches=0)
+        result = make_cluster(fault_plan=plan, queue_capacity=2,
+                              max_batch=2).run(
+            make_requests(num=48, rate_rps=2000.0),
+            retry_policy=RetryPolicy(max_attempts=3))
+        stats = result.stats
+        assert stats.retried > 0
+        assert stats.received == stats.served + stats.failed + stats.shed
+
+    def test_exhausted_budget_fails_typed(self, make_cluster,
+                                          make_requests):
+        # No retry policy: the first rejection is terminal and typed.
+        result = make_cluster(replicas=1, queue_capacity=2,
+                              max_batch=2).run(
+            make_requests(num=48, rate_rps=4000.0))
+        stats = result.stats
+        assert stats.failed > 0
+        assert {f.reason for f in stats.failures} == \
+            {"retry-budget-exhausted"}
+        with pytest.raises(ClusterError, match="retry-budget-exhausted"):
+            result.response_for(stats.failures[0].request_id)
+
+
 class TestConfigValidation:
     def test_zero_replicas_rejected(self):
         with pytest.raises(ClusterError, match="num_replicas"):
@@ -243,3 +513,17 @@ class TestConfigValidation:
     def test_bad_vnodes_rejected(self):
         with pytest.raises(ClusterError, match="vnodes"):
             ClusterConfig(vnodes=0)
+
+    def test_bad_breaker_knobs_rejected(self):
+        with pytest.raises(ClusterError, match="breaker_threshold"):
+            ClusterConfig(breaker_threshold=-1)
+        with pytest.raises(ClusterError, match="breaker_cooldown_s"):
+            ClusterConfig(breaker_cooldown_s=-0.1)
+        with pytest.raises(ClusterError, match="breaker_slow_ratio"):
+            ClusterConfig(breaker_slow_ratio=1.0)
+
+    def test_bad_brownout_knobs_rejected(self):
+        with pytest.raises(ClusterError, match="brownout_watermark"):
+            ClusterConfig(brownout_watermark=1.5)
+        with pytest.raises(ClusterError, match="shed_retry_after_s"):
+            ClusterConfig(shed_retry_after_s=-0.01)

@@ -65,6 +65,62 @@ class TestHashRing:
         with pytest.raises(ClusterError):
             HashRing([0], vnodes=0)
 
+    def test_remove_then_add_reproduces_the_fresh_ring(self):
+        # The recovery property: point placement is a pure function of
+        # (replica, vnode), so a healed ring routes byte-for-byte like
+        # one that never lost the replica.
+        fresh = HashRing([0, 1, 2])
+        healed = HashRing([0, 1, 2])
+        removed = healed.remove(1)
+        added = healed.add(1)
+        assert added == removed == fresh.vnodes   # arcs are inverses
+        assert healed._points == fresh._points
+        assert [healed.route(k) for k in KEYS] == \
+            [fresh.route(k) for k in KEYS]
+
+    def test_churned_ring_routing_table_is_byte_identical(self):
+        import json
+
+        fresh = HashRing(range(5), vnodes=32)
+        churned = HashRing(range(5), vnodes=32)
+        for rid in (3, 0, 4):
+            churned.remove(rid)
+        for rid in (0, 4, 3):                     # any rejoin order
+            churned.add(rid)
+        table = {k: fresh.route(k) for k in KEYS}
+        assert json.dumps({k: churned.route(k) for k in KEYS},
+                          sort_keys=True) == \
+            json.dumps(table, sort_keys=True)
+
+    def test_add_rejects_replica_already_on_ring(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(ClusterError, match="already on the ring"):
+            ring.add(1)
+
+    def test_route_with_allowed_set_walks_past_excluded(self):
+        ring = HashRing([0, 1, 2])
+        for k in KEYS:
+            owner = ring.route(k)
+            steered = ring.route(k, allowed={0, 1, 2} - {owner})
+            assert steered != owner
+            # Keys whose owner is allowed do not move at all.
+            assert ring.route(k, allowed={owner}) == owner
+
+    def test_route_with_full_allowed_set_matches_plain_route(self):
+        ring = HashRing([0, 1, 2])
+        assert [ring.route(k, allowed={0, 1, 2}) for k in KEYS] == \
+            [ring.route(k) for k in KEYS]
+
+    def test_route_rejects_empty_allowed_set(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(ClusterError, match="empty allowed"):
+            ring.route(KEYS[0], allowed=set())
+
+    def test_route_rejects_allowed_set_off_the_ring(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(ClusterError, match="allowed set"):
+            ring.route(KEYS[0], allowed={7})
+
     def test_distribution_roughly_balanced(self):
         ring = HashRing([0, 1, 2, 3])
         counts = {rid: 0 for rid in range(4)}

@@ -21,7 +21,10 @@ ARG_EXAMPLES = [
     ("dynamic_stream.py", ["--updates", "40", "--nodes", "60"]),
     ("molecular_regression.py", ["--epochs", "2", "--scale", "0.005"]),
     ("fault_tolerant_run.py", ["--epochs", "3", "--scale", "0.004"]),
-    ("cluster_loadtest.py", ["--requests", "32", "--scale", "0.004"]),
+    ("cluster_loadtest.py", ["--requests", "32", "--scale", "0.004",
+                             "--recover-after", "0.03",
+                             "--slow-replica", "2",
+                             "--slow-factor", "4.0"]),
 ]
 
 

@@ -83,6 +83,18 @@ class TestConfig:
         assert config.purity_modules == ["repro.pipeline.hashing",
                                          "repro.pipeline.cache"]
 
+    def test_health_module_registered_in_repo_config(self):
+        # Sync test for the self-healing subsystem: the health state
+        # machines roll breaker cooldowns and recovery delays that feed
+        # the cluster event heap, and their as_dict output lands on the
+        # replay surface.  Both scopes must name the module explicitly
+        # so the config cannot silently drift away from the code.
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert "repro.cluster.health" in config.determinism_modules
+        assert "repro.cluster.health" in config.ledger_modules
+        # And the registered module actually exists on disk.
+        assert (REPO_ROOT / "src/repro/cluster/health.py").is_file()
+
     def test_kebab_keys_map_to_fields(self):
         config = config_from_table({"docstring-min-length": 25,
                                     "print-allowed": ["repro.cli",

@@ -68,25 +68,114 @@ class TestSiteDecisions:
             FaultPlan().crash("io", 3, 0)
 
 
+class TestReplicaRecovery:
+    def test_default_plan_never_recovers(self):
+        plan = FaultPlan()
+        assert not plan.recovers
+        with pytest.raises(ConfigError, match="recovery_delay"):
+            plan.recovery_delay(0)
+
+    def test_recovery_delay_is_seeded_and_bounded(self):
+        plan = FaultPlan(seed=4, recover_after_s=0.1, recover_jitter_s=0.05)
+        assert plan.recovers
+        delays = [plan.recovery_delay(rid, inc)
+                  for rid in range(4) for inc in range(3)]
+        assert delays == [FaultPlan(seed=4, recover_after_s=0.1,
+                                    recover_jitter_s=0.05)
+                          .recovery_delay(rid, inc)
+                          for rid in range(4) for inc in range(3)]
+        assert all(0.1 <= d <= 0.15 for d in delays)
+        assert len(set(delays)) > 1      # jitter actually spreads them
+
+    def test_zero_recover_after_is_immediate_recovery(self):
+        plan = FaultPlan(recover_after_s=0.0)
+        assert plan.recovers
+        assert plan.recovery_delay(1) == 0.0
+
+    def test_pinned_crash_fires_only_in_first_incarnation(self):
+        plan = FaultPlan(crash_replicas=(1,), crash_after_batches=2)
+        assert not plan.replica_fails(1, 1, incarnation=0)
+        assert plan.replica_fails(1, 2, incarnation=0)
+        # The recovered incarnation is not stuck in a crash loop.
+        assert not plan.replica_fails(1, 5, incarnation=1)
+
+    def test_rate_crashes_roll_per_lifetime_batch(self):
+        plan = FaultPlan(seed=6, replica_failure_rate=0.3)
+        decisions = [plan.replica_fails(0, b) for b in range(40)]
+        assert any(decisions) and not all(decisions)
+        assert decisions == [plan.replica_fails(0, b) for b in range(40)]
+
+
+class TestStragglerInjection:
+    def test_pinned_stragglers_always_stretch(self):
+        plan = FaultPlan(slow_replicas=(2,), slow_factor=3.0)
+        assert plan.service_multiplier(2, 0) == 3.0
+        assert plan.service_multiplier(2, 17) == 3.0
+        assert plan.service_multiplier(0, 0) == 1.0
+
+    def test_rate_stragglers_are_seeded(self):
+        plan = FaultPlan(seed=8, slow_rate=0.4, slow_factor=2.0)
+        scales = [plan.service_multiplier(1, b) for b in range(40)]
+        assert set(scales) == {1.0, 2.0}
+        assert scales == [plan.service_multiplier(1, b)
+                          for b in range(40)]
+
+    def test_default_plan_never_straggles(self):
+        plan = FaultPlan()
+        assert all(plan.service_multiplier(r, b) == 1.0
+                   for r in range(3) for b in range(20))
+
+
 class TestValidationAndSerialisation:
     def test_rate_out_of_range(self):
         with pytest.raises(ConfigError):
             FaultPlan(worker_crash_rate=1.5)
         with pytest.raises(ConfigError):
             FaultPlan(cache_corrupt_rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(slow_rate=1.2)
 
     def test_negative_max_faults(self):
         with pytest.raises(ConfigError):
             FaultPlan(max_faults_per_site=-1)
+
+    def test_bad_straggler_and_recovery_knobs(self):
+        with pytest.raises(ConfigError, match="slow_factor"):
+            FaultPlan(slow_factor=0.5)
+        with pytest.raises(ConfigError, match="recover_jitter_s"):
+            FaultPlan(recover_jitter_s=-0.1)
 
     def test_json_round_trip(self):
         plan = FaultPlan(seed=3, worker_crash_rate=0.25, nan_epochs=(1, 4),
                          poison_graphs=(2,), break_pool_chunk=0)
         assert FaultPlan.from_json(plan.to_json()) == plan
 
+    def test_json_round_trip_covers_recovery_and_stragglers(self):
+        plan = FaultPlan(seed=9, crash_replicas=(0, 2),
+                         crash_after_batches=1, recover_after_s=0.25,
+                         recover_jitter_s=0.1, slow_replicas=(1,),
+                         slow_factor=2.5, slow_rate=0.05)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        # Tuples survive the JSON list round-trip.
+        assert restored.slow_replicas == (1,)
+        assert restored.crash_replicas == (0, 2)
+        # And the restored plan makes the same decisions.
+        assert restored.recovery_delay(2, 1) == plan.recovery_delay(2, 1)
+        assert [restored.service_multiplier(1, b) for b in range(10)] \
+            == [plan.service_multiplier(1, b) for b in range(10)]
+
+    def test_to_dict_includes_every_field(self):
+        data = FaultPlan().to_dict()
+        for name in ("recover_after_s", "recover_jitter_s",
+                     "slow_replicas", "slow_factor", "slow_rate"):
+            assert name in data
+
     def test_from_dict_rejects_unknown_fields(self):
         with pytest.raises(ConfigError, match="unknown"):
             FaultPlan.from_dict({"seed": 1, "typo_rate": 0.5})
+        with pytest.raises(ConfigError, match="unknown"):
+            FaultPlan.from_dict({"recover_after": 0.5})   # typo'd name
 
     def test_from_json_rejects_garbage(self):
         with pytest.raises(ConfigError):

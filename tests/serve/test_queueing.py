@@ -5,7 +5,11 @@ import pytest
 
 from repro.errors import ConfigError, QueueFullError
 from repro.graph.generators import ring_graph
-from repro.serve import BoundedRequestQueue, InferenceRequest
+from repro.serve import (
+    BoundedRequestQueue,
+    InferenceRequest,
+    scale_retry_after,
+)
 from repro.serve.queueing import InferenceResponse, QueuedRequest
 
 
@@ -77,3 +81,27 @@ class TestBoundedRequestQueue:
         q.admit(queued(0))
         with pytest.raises(ConfigError):
             q.remove([queued(99)])
+
+
+class TestScaleRetryAfter:
+    def test_full_capacity_is_identity(self):
+        assert scale_retry_after(0.05, alive=4, total=4) == 0.05
+
+    def test_hint_grows_with_lost_capacity(self):
+        hints = [scale_retry_after(0.01, alive=a, total=4)
+                 for a in (4, 3, 2, 1)]
+        assert hints == sorted(hints)
+        assert hints[-1] == pytest.approx(0.04)
+
+    def test_zero_base_stays_zero(self):
+        assert scale_retry_after(0.0, alive=1, total=8) == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            scale_retry_after(0.01, alive=0, total=3)
+        with pytest.raises(ConfigError):
+            scale_retry_after(0.01, alive=4, total=3)
+        with pytest.raises(ConfigError):
+            scale_retry_after(0.01, alive=1, total=0)
+        with pytest.raises(ConfigError):
+            scale_retry_after(-0.01, alive=1, total=2)
