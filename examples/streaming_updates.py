@@ -1,0 +1,189 @@
+"""Dynamic-graph serving end to end: deltas, repair, exact invalidation.
+
+Walks the streaming story from docs/streaming.md:
+
+1. apply one small edge delta: the analytic estimate prices it, the
+   schedule is patched in place (repair mode), and the versioned-key
+   protocol evicts the superseded content key and seeds the new one;
+2. the first post-delta admission is an L2 hit — Algorithm 1 never
+   reruns for a repaired graph;
+3. epoch pinning: a request admitted before the delta reports epoch 0,
+   one admitted after reports epoch 1, and untouched graphs keep their
+   epochs (and their cache entries);
+4. sweep delta sizes to find the repair/recompute crossover: patching
+   wins for small deltas, full Algorithm 1 for large ones — the
+   decision is analytic, in deterministic work units;
+5. a mixed run — queries, deltas, and a seeded replica crash — replays
+   byte-identically and still conserves
+   received == served + failed + shed.
+
+Run:  python examples/streaming_updates.py [--events 48 --scale 0.004
+      --delta-fraction 0.3]
+"""
+
+import argparse
+import json
+
+from repro.cluster import ClusterConfig, TieredScheduleCache
+from repro.core import MegaConfig
+from repro.datasets import load_dataset
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.serve import ArrivalProcess, BatchingPolicy, ServerConfig
+from repro.serve.queueing import InferenceRequest
+from repro.stream import (
+    DeltaBatch,
+    EdgeDelta,
+    GraphTable,
+    RepairPolicy,
+    ScheduleRepairer,
+    StreamMix,
+    StreamServer,
+    generate_stream,
+)
+from repro.train.trainer import build_model
+
+
+def make_server(model, pool, num_graphs=4, fault_plan=None, replicas=3):
+    graphs = {f"g{i}": pool[i] for i in range(num_graphs)}
+    config = ClusterConfig(
+        num_replicas=replicas, policy="hash-affinity",
+        server=ServerConfig(
+            queue_capacity=16,
+            policy=BatchingPolicy(max_batch_size=8)))
+    return StreamServer(model, graphs, config,
+                        repair_policy=RepairPolicy(),
+                        fault_plan=fault_plan)
+
+
+def insert_batch(table, name, delta_id=0, at=0.5):
+    """One guaranteed-structural insert: the first missing edge."""
+    present = table.graph(name).edge_set()
+    n = table.graph(name).num_nodes
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (u, v) not in present:
+                return DeltaBatch(delta_id, name,
+                                  ops=(EdgeDelta("insert", u, v),),
+                                  submitted_s=at)
+    raise SystemExit(f"graph {name!r} is complete")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=48)
+    parser.add_argument("--scale", type=float, default=0.004)
+    parser.add_argument("--delta-fraction", type=float, default=0.3)
+    args = parser.parse_args()
+
+    dataset = load_dataset("ZINC", scale=args.scale)
+    model = build_model("GCN", dataset, hidden_dim=16, num_layers=2,
+                        seed=0)
+    model.eval()
+    pool = dataset.test[:6]
+    retry = RetryPolicy(max_attempts=3)
+    print(f"4 named graphs over a 3-replica cluster, "
+          f"{args.events} mixed events\n")
+
+    print("== 1. one delta, repaired in place ==")
+    server = make_server(model, pool)
+    batch = insert_batch(server.table, "g0")
+    record = server.run([], [batch]).stats.records[0]
+    est = record.estimate
+    print(f"estimate: repair {est.repair_cost} vs rebuild "
+          f"{est.rebuild_cost} work units (ratio {est.ratio:.3f}) "
+          f"-> mode {record.mode!r}")
+    print(f"actual work: {record.work_units} units; key "
+          f"{record.old_key[:12]}… -> {record.new_key[:12]}…, "
+          f"invalidated L1/L2/disk = {record.invalidated_l1}/"
+          f"{record.invalidated_l2}/{record.invalidated_disk}, "
+          f"seeded={record.seeded}")
+
+    print("\n== 2. first post-delta admission hits the seeded key ==")
+    server = make_server(model, pool, replicas=1)
+    batch = insert_batch(server.table, "g0", at=0.5)
+    late = InferenceRequest(request_id=0,
+                            graph=server.table.graph("g0"),
+                            submitted_s=1.0, graph_name="g0")
+    result = server.run([late], [batch])
+    print(f"schedule_hit={result.response_for(0).schedule_hit} "
+          f"(L2 hits: {server.cluster.tiered.tier.l2_hits}) — the "
+          f"repaired schedule was seeded at application time")
+
+    print("\n== 3. epoch pinning across a delta ==")
+    server = make_server(model, pool)
+    batch = insert_batch(server.table, "g0", at=0.5)
+    early = InferenceRequest(request_id=0,
+                             graph=server.table.graph("g0"),
+                             submitted_s=0.0, graph_name="g0")
+    late = InferenceRequest(request_id=1,
+                            graph=server.table.graph("g0"),
+                            submitted_s=1.0, graph_name="g0")
+    result = server.run([early, late], [batch])
+    print(f"request 0 (pre-delta)  -> epoch "
+          f"{result.response_for(0).epoch}")
+    print(f"request 1 (post-delta) -> epoch "
+          f"{result.response_for(1).epoch}")
+    print(f"final epochs: {result.stats.epochs} — only g0 moved; "
+          f"untouched graphs keep their cache entries")
+
+    print("\n== 4. the repair/recompute crossover ==")
+    config = MegaConfig()
+    graph = pool[0]
+    present = graph.edge_set()
+    n = graph.num_nodes
+    candidates = [(u, v) for u in range(n) for v in range(u + 1, n)
+                  if (u, v) not in present]
+    plan = FaultPlan(seed=0)
+    picked = []
+    for i in range(16):
+        index = min(int(plan.roll("pick", i) * len(candidates)),
+                    len(candidates) - 1)
+        picked.append(candidates.pop(index))
+
+    def apply_once(ratio, num_ops):
+        table = GraphTable({"g": graph}, config)
+        repairer = ScheduleRepairer(table, TieredScheduleCache(config),
+                                    RepairPolicy(recompute_ratio=ratio))
+        ops = tuple(EdgeDelta("insert", u, v)
+                    for u, v in picked[:num_ops])
+        return repairer.apply(DeltaBatch(0, "g", ops=ops), 0.0)
+
+    print(f"{'Δ edges':>8} {'repair':>8} {'recompute':>10} "
+          f"{'policy picks':>14}")
+    crossover = 0
+    for size in (1, 2, 4, 8, 16):
+        repaired = apply_once(float("inf"), size)   # force repair
+        recomputed = apply_once(0.0, size)          # force Algorithm 1
+        chosen = apply_once(1.0, size).mode         # default policy
+        print(f"{size:>8} {repaired.work_units:>8} "
+              f"{recomputed.work_units:>10} {chosen:>14}")
+        if not crossover and repaired.work_units >= recomputed.work_units:
+            crossover = size
+    print("repair wins below the crossover"
+          + (f" (here: {crossover} edges)" if crossover
+             else " at every swept size") +
+          "; the default policy flips exactly where the estimate says")
+
+    print("\n== 5. byte-identical mixed replay, crash included ==")
+    fault = FaultPlan(seed=11, crash_replicas=(1,),
+                      crash_after_batches=2)
+    blobs, stats = [], None
+    for _ in range(2):
+        server = make_server(model, pool, fault_plan=fault)
+        requests, deltas = generate_stream(
+            server.table, args.events,
+            ArrivalProcess(kind="poisson", rate_rps=400.0, seed=5),
+            StreamMix(seed=5, delta_fraction=args.delta_fraction))
+        stats = server.run(requests, deltas, retry_policy=retry).stats
+        blobs.append(json.dumps(stats.as_dict(), sort_keys=True))
+    assert blobs[0] == blobs[1], "replay diverged!"
+    print(stats.summary_line())
+    fleet = stats.cluster
+    print(f"crashed replicas: {fleet.crashed_replicas}; "
+          f"{fleet.received} received == {fleet.served} served + "
+          f"{fleet.failed} failed + {fleet.shed} shed")
+    print(f"replay stats identical: {len(blobs[0])} bytes, equal")
+
+
+if __name__ == "__main__":
+    main()

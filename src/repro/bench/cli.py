@@ -27,7 +27,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run workloads and write ledgers")
     p.add_argument("--all", action="store_true",
                    help="run every area (pipeline, serve, kernels, "
-                        "train, cluster)")
+                        "train, cluster, stream)")
     p.add_argument("--areas", nargs="+", metavar="AREA",
                    help="subset of areas to run")
     p.add_argument("--seed", type=int, default=0,

@@ -2,7 +2,8 @@
 
 One ledger file per benchmark *area* (``BENCH_pipeline.json``,
 ``BENCH_serve.json``, ``BENCH_kernels.json``, ``BENCH_train.json``,
-``BENCH_cluster.json``), each holding a list of workload entries.  The format splits every
+``BENCH_cluster.json``, ``BENCH_stream.json``), each holding a list of
+workload entries.  The format splits every
 number into one of two surfaces:
 
 * the **replay surface** — ``schema_version``, ``area``, and each
@@ -42,7 +43,7 @@ LEDGER_SCHEMA_VERSION = 1
 
 #: The benchmark areas, in the order ``run --all`` executes them.
 AREAS: Tuple[str, ...] = ("pipeline", "serve", "kernels", "train",
-                          "cluster")
+                          "cluster", "stream")
 
 _NUMERIC = (int, float)
 

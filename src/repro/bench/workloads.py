@@ -369,6 +369,215 @@ def run_cluster_brownout(seed: int) -> LedgerEntry:
 
 
 # ---------------------------------------------------------------------------
+# stream: dynamic graphs — repair crossover, scoped invalidation, crash mix
+# ---------------------------------------------------------------------------
+
+#: Delta sizes (inserted edges per batch) the crossover workload sweeps.
+_CROSSOVER_SIZES = (1, 2, 4, 8, 16)
+
+
+@_register("stream_repair_crossover", "stream",
+           "Incremental schedule repair vs full Algorithm 1 recompute "
+           "across delta sizes, in deterministic work units (the "
+           "repair-wins-below-crossover claim)")
+def run_stream_crossover(seed: int) -> LedgerEntry:
+    from repro.cluster import TieredScheduleCache
+    from repro.resilience import FaultPlan
+    from repro.stream import (DeltaBatch, EdgeDelta, GraphTable,
+                              RepairPolicy, ScheduleRepairer)
+
+    config = MegaConfig()
+    dataset = load_dataset("ZINC", scale=SMALL_SCALE)
+    graph = dataset.test[0]
+    present = graph.edge_set()
+    n = graph.num_nodes
+    candidates = [(u, v) for u in range(n) for v in range(u + 1, n)
+                  if (u, v) not in present]
+    plan = FaultPlan(seed=seed)
+    pool = list(candidates)
+    picked = []
+    for i in range(max(_CROSSOVER_SIZES)):
+        index = min(int(plan.roll("crossover-pick", i) * len(pool)),
+                    len(pool) - 1)
+        picked.append(pool.pop(index))
+
+    def apply_once(ratio: float, num_ops: int):
+        """One batch of ``num_ops`` seeded inserts under one policy."""
+        table = GraphTable({"g": graph}, config)
+        repairer = ScheduleRepairer(
+            table, TieredScheduleCache(config),
+            RepairPolicy(recompute_ratio=ratio))
+        ops = tuple(EdgeDelta("insert", u, v)
+                    for u, v in picked[:num_ops])
+        return repairer.apply(
+            DeltaBatch(delta_id=0, graph_name="g", ops=ops), 0.0)
+
+    metrics: Dict[str, float] = {"num_nodes": n,
+                                 "num_edges": graph.num_edges}
+    crossover = 0
+    for size in _CROSSOVER_SIZES:
+        # float("inf") forces repair; 0.0 forces the recompute path —
+        # the same cold-miss compute_schedule a cache miss would run.
+        repaired = apply_once(float("inf"), size)
+        recomputed = apply_once(0.0, size)
+        metrics[f"repair_units_k{size}"] = repaired.work_units
+        metrics[f"recompute_units_k{size}"] = recomputed.work_units
+        metrics[f"estimate_units_k{size}"] = \
+            repaired.estimate.repair_cost
+        if crossover == 0 and repaired.work_units >= recomputed.work_units:
+            crossover = size
+    metrics["crossover_delta_size"] = crossover
+    metrics["repair_speedup_k1"] = (
+        metrics["recompute_units_k1"] / metrics["repair_units_k1"])
+    return LedgerEntry(
+        workload="stream_repair_crossover", seed=seed,
+        fingerprint=workload_fingerprint([graph], config,
+                                         "stream_repair_crossover"),
+        config={"dataset": "ZINC", "scale": SMALL_SCALE,
+                "delta_sizes": list(_CROSSOVER_SIZES),
+                "op": "insert"},
+        metrics=metrics, wall={})
+
+
+def _stream_entry(name: str, seed: int, fault_plan=None,
+                  delta_names=None, delta_fraction: float = 0.25,
+                  with_control: bool = False,
+                  extra_metrics=None) -> LedgerEntry:
+    """One mixed query/delta streaming run as a ledger entry.
+
+    ``delta_names`` restricts deltas to a subset of the named graphs
+    (queries still range over all of them); ``with_control`` also runs
+    the identical query stream with zero deltas on a fresh server, so
+    the untouched graphs' hit rate can be compared against a world
+    where nothing was ever invalidated.
+    """
+    from repro.cluster import ClusterConfig
+    from repro.resilience import RetryPolicy
+    from repro.serve import (ArrivalProcess, BatchingPolicy, ServerConfig)
+    from repro.stream import (RepairPolicy, StreamMix, StreamServer,
+                              generate_stream)
+    from repro.train import build_model
+
+    dataset = load_dataset("ZINC", scale=SMALL_SCALE)
+    model = build_model("GCN", dataset, hidden_dim=16, num_layers=2,
+                        seed=0)
+    pool = dataset.test[:6]
+    graphs = {f"g{i}": g for i, g in enumerate(pool)}
+    config = ClusterConfig(
+        num_replicas=3, policy="hash-affinity",
+        server=ServerConfig(queue_capacity=16,
+                            policy=BatchingPolicy(max_batch_size=8,
+                                                  max_wait_s=0.02,
+                                                  bucket_width=16)))
+
+    def build_server() -> "StreamServer":
+        return StreamServer(model, dict(graphs), config=config,
+                            repair_policy=RepairPolicy(),
+                            fault_plan=fault_plan)
+
+    server = build_server()
+    process = ArrivalProcess(kind="poisson", rate_rps=400.0, seed=seed)
+    mix = StreamMix(delta_fraction=delta_fraction, ops_per_delta=4,
+                    delete_fraction=0.25, delta_names=delta_names,
+                    seed=seed)
+    requests, deltas = generate_stream(server.table, 64, process, mix)
+    result = server.run(requests, deltas,
+                        retry_policy=RetryPolicy(max_attempts=3))
+    stats = result.stats
+    fleet = stats.cluster
+
+    name_of = {req.request_id: req.graph_name for req in requests}
+    untouched = [g for g in sorted(graphs)
+                 if delta_names is None or g not in delta_names]
+
+    def untouched_hit_rate(responses) -> float:
+        flags = [resp.schedule_hit for resp in responses
+                 if name_of[resp.request_id] in untouched]
+        return (sum(flags) / len(flags)) if flags else 0.0
+
+    metrics = {
+        "num_graphs": stats.num_graphs,
+        "num_deltas": stats.num_deltas,
+        "repairs": stats.repairs,
+        "recomputes": stats.recomputes,
+        "repair_work_units": stats.repair_work_units,
+        "recompute_work_units": stats.recompute_work_units,
+        "invalidated_keys": stats.invalidated_keys,
+        "invalidated_l1": stats.invalidated_l1,
+        "invalidated_l2": stats.invalidated_l2,
+        "noop_batches": stats.noop_batches,
+        "seeded_keys": fleet.tier.seeds,
+        "max_epoch": max(stats.epochs.values()),
+        "received": fleet.received,
+        "served": fleet.served,
+        "failed": fleet.failed,
+        "shed": fleet.shed,
+        "retried": fleet.retried,
+        "failovers": fleet.failovers,
+        "crashed_replicas": fleet.crashed_replicas,
+        "num_batches": fleet.num_batches,
+        "p50_latency_s": fleet.p50_latency_s,
+        "p99_latency_s": fleet.p99_latency_s,
+        "sim_duration_s": fleet.sim_duration_s,
+        "l1_hits": fleet.tier.l1_hits,
+        "l2_hits": fleet.tier.l2_hits,
+        "schedule_misses": fleet.tier.misses,
+        "untouched_hit_rate": untouched_hit_rate(result.responses),
+    }
+    if with_control:
+        control = build_server().run(
+            list(requests), [], retry_policy=RetryPolicy(max_attempts=3))
+        metrics["untouched_hit_rate_control"] = \
+            untouched_hit_rate(control.responses)
+    if extra_metrics is not None:
+        metrics.update(extra_metrics(stats))
+    config_block = {"dataset": "ZINC", "scale": SMALL_SCALE,
+                    "model": "GCN", "arrival": "poisson",
+                    "rate_rps": 400.0, "num_events": 64,
+                    "num_replicas": 3, "policy": "hash-affinity",
+                    "delta_fraction": delta_fraction,
+                    "ops_per_delta": 4, "delete_fraction": 0.25}
+    if delta_names is not None:
+        config_block["delta_names"] = list(delta_names)
+    if fault_plan is not None:
+        config_block["crash_replicas"] = len(fault_plan.crash_replicas)
+        config_block["crash_after_batches"] = \
+            fault_plan.crash_after_batches
+    return LedgerEntry(
+        workload=name, seed=seed,
+        fingerprint=workload_fingerprint(pool, MegaConfig(), name),
+        config=config_block, metrics=metrics, wall={})
+
+
+@_register("stream_mixed", "stream",
+           "Mixed query/delta run with deltas scoped to two named "
+           "graphs: only their keys are invalidated and the untouched "
+           "graphs' hit rate matches a delta-free control run")
+def run_stream_mixed(seed: int) -> LedgerEntry:
+    return _stream_entry("stream_mixed", seed,
+                         delta_names=("g0", "g1"), with_control=True)
+
+
+@_register("stream_crash", "stream",
+           "Mixed query/delta run with a pinned replica crash: "
+           "failover and epoch pinning compose, conservation holds "
+           "across epochs")
+def run_stream_crash(seed: int) -> LedgerEntry:
+    from repro.resilience import FaultPlan
+
+    plan = FaultPlan(seed=seed, crash_replicas=(1,),
+                     crash_after_batches=2)
+
+    def crash_metrics(stats):
+        fleet = stats.cluster
+        return {"conservation_gap": fleet.received - fleet.served
+                - fleet.failed - fleet.shed}
+
+    return _stream_entry("stream_crash", seed, fault_plan=plan,
+                         extra_metrics=crash_metrics)
+
+
+# ---------------------------------------------------------------------------
 # kernels: analytic kernel-plan costs + memsim counters (Fig. 4-6 shapes)
 # ---------------------------------------------------------------------------
 

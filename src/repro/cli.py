@@ -11,6 +11,8 @@ serve       Serve a dataset's test split through the inference server.
 loadtest    Seeded Poisson/bursty load test; prints SLO metrics.
 cluster     Multi-replica loadtest: routing policies, tiered cache,
             seeded replica crashes and failover.
+stream      Dynamic-graph loadtest: named graphs, seeded edge deltas,
+            incremental schedule repair, tiered invalidation.
 bench       Benchmark harness: run/compare/list BENCH_*.json ledgers.
 
 Exit codes: 0 on success, 2 on any :class:`~repro.errors.ReproError`
@@ -305,40 +307,50 @@ def _build_server(args: argparse.Namespace):
     return loaded, server
 
 
+def _cli_fault_plan(args: argparse.Namespace):
+    """The seeded FaultPlan the cluster/stream flags describe, or None."""
+    from repro.resilience import FaultPlan
+
+    crash = tuple(getattr(args, "crash_replica", None) or ())
+    rate = getattr(args, "replica_failure_rate", 0.0)
+    slow = tuple(getattr(args, "slow_replica", None) or ())
+    recover_after = getattr(args, "recover_after", -1.0)
+    if not (crash or rate > 0.0 or slow or recover_after >= 0.0):
+        return None
+    return FaultPlan(
+        seed=args.seed, replica_failure_rate=rate,
+        crash_replicas=crash,
+        crash_after_batches=getattr(args, "crash_after", 0),
+        recover_after_s=recover_after,
+        recover_jitter_s=getattr(args, "recover_jitter", 0.0),
+        slow_replicas=slow,
+        slow_factor=getattr(args, "slow_factor", 1.0))
+
+
+def _cluster_config(args: argparse.Namespace):
+    from repro.cluster import ClusterConfig
+
+    return ClusterConfig(
+        num_replicas=args.replicas,
+        policy=args.policy,
+        vnodes=getattr(args, "vnodes", 64),
+        server=_server_config(args),
+        breaker_threshold=getattr(args, "breaker_threshold", 0),
+        breaker_cooldown_s=getattr(args, "breaker_cooldown", 0.05),
+        brownout_watermark=getattr(args, "brownout_watermark", 0.0))
+
+
 def _build_cluster(args: argparse.Namespace):
     """(LoadedModel, Cluster) from parsed cluster/loadtest args."""
-    from repro.cluster import Cluster, ClusterConfig
+    from repro.cluster import Cluster
     from repro.pipeline import ScheduleCache
-    from repro.resilience import FaultPlan
 
     loaded = _load_cli_model(args)
     cache_dir = _resolve_cache_dir(args)
     cache = ScheduleCache(cache_dir) if cache_dir is not None else None
-    crash = tuple(getattr(args, "crash_replica", None) or ())
-    rate = getattr(args, "replica_failure_rate", 0.0)
-    slow = tuple(getattr(args, "slow_replica", None) or ())
-    slow_factor = getattr(args, "slow_factor", 1.0)
-    recover_after = getattr(args, "recover_after", -1.0)
-    fault_plan = None
-    if crash or rate > 0.0 or slow or recover_after >= 0.0:
-        fault_plan = FaultPlan(
-            seed=args.seed, replica_failure_rate=rate,
-            crash_replicas=crash,
-            crash_after_batches=getattr(args, "crash_after", 0),
-            recover_after_s=recover_after,
-            recover_jitter_s=getattr(args, "recover_jitter", 0.0),
-            slow_replicas=slow,
-            slow_factor=slow_factor)
     cluster = Cluster(
-        loaded.model, cache=cache, fault_plan=fault_plan,
-        config=ClusterConfig(
-            num_replicas=args.replicas,
-            policy=args.policy,
-            vnodes=getattr(args, "vnodes", 64),
-            server=_server_config(args),
-            breaker_threshold=getattr(args, "breaker_threshold", 0),
-            breaker_cooldown_s=getattr(args, "breaker_cooldown", 0.05),
-            brownout_watermark=getattr(args, "brownout_watermark", 0.0)))
+        loaded.model, cache=cache, fault_plan=_cli_fault_plan(args),
+        config=_cluster_config(args))
     return loaded, cluster
 
 
@@ -484,6 +496,65 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.pipeline import ScheduleCache
+    from repro.resilience import RetryPolicy
+    from repro.serve import ArrivalProcess
+    from repro.stream import (
+        RepairPolicy,
+        StreamMix,
+        StreamServer,
+        generate_stream,
+    )
+
+    loaded = _load_cli_model(args)
+    cache_dir = _resolve_cache_dir(args)
+    cache = ScheduleCache(cache_dir) if cache_dir is not None else None
+    pool = loaded.dataset.test[:args.pool]
+    graphs = {f"g{i}": g for i, g in enumerate(pool)}
+    server = StreamServer(
+        loaded.model, graphs, config=_cluster_config(args),
+        repair_policy=RepairPolicy(recompute_ratio=args.recompute_ratio),
+        cache=cache, fault_plan=_cli_fault_plan(args))
+    process = ArrivalProcess(kind=args.process, rate_rps=args.rate,
+                             seed=args.seed,
+                             burst_factor=args.burst_factor,
+                             burst_len=args.burst_len)
+    mix = StreamMix(delta_fraction=args.delta_fraction,
+                    ops_per_delta=args.ops_per_delta,
+                    delete_fraction=args.delete_fraction,
+                    seed=args.seed)
+    requests, deltas = generate_stream(server.table, args.events,
+                                       process, mix)
+    retry = (RetryPolicy(max_attempts=args.retries)
+             if args.retries > 0 else None)
+    result = server.run(requests, deltas, retry_policy=retry)
+    stats = result.stats
+    if args.json:
+        print(json.dumps(stats.as_dict(), sort_keys=True, indent=2))
+        return 0
+    print(f"stream loadtest: {args.events} events "
+          f"({len(requests)} queries / {len(deltas)} deltas), "
+          f"{args.process} arrivals at {args.rate:.0f} ev/s "
+          f"(seed {args.seed}), {len(graphs)} named graphs, "
+          f"{args.replicas} replicas ({args.policy})")
+    print(stats.summary_line())
+    for record in stats.records[:args.show]:
+        est = record.estimate
+        print(f"  delta {record.delta_id} -> {record.graph_name} "
+              f"epoch {record.epoch} [{record.mode}]: "
+              f"+{record.applied_inserts}/-{record.applied_deletes} "
+              f"({record.applied_noops} no-op), est ratio "
+              f"{est.ratio:.3f}, {record.work_units} work units, "
+              f"invalidated L1 {record.invalidated_l1} / "
+              f"L2 {record.invalidated_l2} / "
+              f"disk {record.invalidated_disk}")
+    print(f"  epochs: " + ", ".join(
+        f"{name}={epoch}" for name, epoch in stats.epochs.items()))
+    _print_cluster_report(stats.cluster, False)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     # Thin passthrough: the bench harness owns its own argparse tree and
     # exit-code contract (0 ok / 1 regression / 2 ReproError).
@@ -608,6 +679,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retry budget per request: rejections and "
                         "failovers (0 = fail immediately)")
     p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser("stream",
+                       help="dynamic-graph loadtest: seeded edge "
+                            "deltas with incremental schedule repair")
+    _add_dataset_args(p)
+    _add_serve_args(p)
+    _add_cluster_args(p)
+    p.add_argument("--events", type=int, default=200,
+                   help="total event slots (queries + delta batches)")
+    p.add_argument("--rate", type=float, default=400.0,
+                   help="mean event rate (events per simulated s)")
+    p.add_argument("--process", default="poisson",
+                   choices=["poisson", "bursty"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pool", type=int, default=8,
+                   help="named graphs in the table")
+    p.add_argument("--burst-factor", type=float, default=6.0)
+    p.add_argument("--burst-len", type=int, default=16)
+    p.add_argument("--retries", type=int, default=3,
+                   help="retry budget per request (0 = fail "
+                        "immediately)")
+    p.add_argument("--delta-fraction", type=float, default=0.2,
+                   help="probability an event is a delta batch")
+    p.add_argument("--ops-per-delta", type=int, default=4,
+                   help="edge operations per delta batch")
+    p.add_argument("--delete-fraction", type=float, default=0.25,
+                   help="probability a delta op is a delete")
+    p.add_argument("--recompute-ratio", type=float, default=1.0,
+                   help="estimated repair/rebuild cost ratio above "
+                        "which a delta recomputes Algorithm 1")
+    p.add_argument("--show", type=int, default=5,
+                   help="print the first N repair records")
+    p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser("bench",
                        help="benchmark harness: run/compare/list "

@@ -26,7 +26,7 @@ per-replica view also keeps a serve-compatible
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import MegaConfig
 from repro.core.path import PathRepresentation
@@ -51,12 +51,25 @@ class TierStats:
         Lookups that recomputed Algorithm 1 (then fed both tiers).
     l2_puts:
         Entries written to the shared tier (one per miss).
+    l1_invalidations / l2_invalidations:
+        Entries evicted by keyed invalidation
+        (:meth:`TieredScheduleCache.invalidate`) from the replica-local
+        memos and the shared tier respectively — the streaming layer's
+        versioned-key protocol retiring a superseded graph epoch.
+    seeds:
+        Entries written through :meth:`TieredScheduleCache.seed` — a
+        repaired schedule pre-warmed under its new content key, so the
+        first post-delta admission is an L2 hit instead of a full
+        Algorithm 1 miss.
     """
 
     l1_hits: int = 0
     l2_hits: int = 0
     misses: int = 0
     l2_puts: int = 0
+    l1_invalidations: int = 0
+    l2_invalidations: int = 0
+    seeds: int = 0
 
     @property
     def lookups(self) -> int:
@@ -82,11 +95,17 @@ class TierStats:
             l1_hits=self.l1_hits + other.l1_hits,
             l2_hits=self.l2_hits + other.l2_hits,
             misses=self.misses + other.misses,
-            l2_puts=self.l2_puts + other.l2_puts)
+            l2_puts=self.l2_puts + other.l2_puts,
+            l1_invalidations=self.l1_invalidations + other.l1_invalidations,
+            l2_invalidations=self.l2_invalidations + other.l2_invalidations,
+            seeds=self.seeds + other.seeds)
 
     def as_dict(self) -> dict:
         return {"l1_hits": self.l1_hits, "l2_hits": self.l2_hits,
-                "misses": self.misses, "l2_puts": self.l2_puts}
+                "misses": self.misses, "l2_puts": self.l2_puts,
+                "l1_invalidations": self.l1_invalidations,
+                "l2_invalidations": self.l2_invalidations,
+                "seeds": self.seeds}
 
 
 class TieredScheduleCache:
@@ -104,10 +123,51 @@ class TieredScheduleCache:
         self.backing = backing
         self._l2: Dict[str, Tuple] = {}
         self.tier = TierStats()
+        # Every view ever handed out, in creation order — keyed
+        # invalidation must reach retired incarnations' L1 memos too
+        # (they are dead engines, but determinism is cheaper than
+        # reasoning about which views can still be probed).
+        self._views: List["ReplicaScheduleView"] = []
 
     def view(self, replica_id: int) -> "ReplicaScheduleView":
         """The schedule store replica ``replica_id`` plugs into its engine."""
-        return ReplicaScheduleView(self, replica_id)
+        created = ReplicaScheduleView(self, replica_id)
+        self._views.append(created)
+        return created
+
+    # -- versioned-key protocol (called by repro.stream) ---------------
+    def invalidate(self, key: str) -> Tuple[int, int, int]:
+        """Evict ``key`` from every tier: (l1 entries, l2 entries, disk).
+
+        The eviction half of the streaming invalidation protocol: the
+        caller names exactly the superseded content key, so entries for
+        untouched graphs are never disturbed.  In-flight requests are
+        unaffected by construction — their path representation was
+        resolved (and pinned) at admission.
+        """
+        l1_removed = 0
+        for view in self._views:
+            if view._l1.pop(key, None) is not None:
+                l1_removed += 1
+                view.tier.l1_invalidations += 1
+        l2_removed = int(self._l2.pop(key, None) is not None)
+        disk_removed = 0
+        if self.backing is not None and self.backing.invalidate(key):
+            disk_removed = 1
+        self.tier.l1_invalidations += l1_removed
+        self.tier.l2_invalidations += l2_removed + disk_removed
+        return l1_removed, l2_removed, disk_removed
+
+    def seed(self, key: str, entry: Tuple) -> None:
+        """Install a ready-made schedule under ``key`` in the shared tier.
+
+        The warm half of the protocol: a repaired (or recomputed)
+        schedule goes straight into L2 — and the disk backing when one
+        is attached — so the first admission against the new epoch
+        promotes it into a replica's L1 instead of running Algorithm 1.
+        """
+        self._l2_put(key, entry)
+        self.tier.seeds += 1
 
     # -- shared-tier access (called by the views) ----------------------
     def _l2_get(self, key: str) -> Optional[Tuple]:

@@ -56,7 +56,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import MegaConfig
 from repro.cluster.cache import ReplicaScheduleView, TieredScheduleCache
@@ -218,7 +218,12 @@ class Cluster:
 
     # ------------------------------------------------------------------
     def run(self, requests: List[InferenceRequest],
-            retry_policy: Optional[RetryPolicy] = None) -> ClusterResult:
+            retry_policy: Optional[RetryPolicy] = None,
+            control_events: Optional[
+                Sequence[Tuple[float, Callable[[float], None]]]] = None,
+            bind_request: Optional[
+                Callable[[InferenceRequest, float], InferenceRequest]]
+            = None) -> ClusterResult:
         """Serve a request stream across the fleet to completion.
 
         ``retry_policy`` bounds client-side retries after queue-full
@@ -226,6 +231,18 @@ class Cluster:
         after replica crashes; ``None`` means one attempt — rejections,
         sheds and evacuations fail immediately (still recorded, never
         silent).
+
+        ``control_events`` are ``(at_s, callback)`` pairs merged onto
+        the one event heap; each callback fires at its simulated time
+        with the clock as argument.  This is how the streaming layer
+        applies graph deltas *between* arrivals deterministically —
+        the cluster stays ignorant of what the callbacks do.
+
+        ``bind_request`` rewrites a request at each dispatch instant
+        (arrivals, retries, failovers, hedges).  The streaming layer
+        uses it to resolve a named graph to its current version and pin
+        the epoch; requests already admitted are untouched — their
+        schedule was resolved at admission.
         """
         cfg = self.config
         plan = self.fault_plan
@@ -256,10 +273,16 @@ class Cluster:
 
         # (time, tiebreak_seq, kind, payload); kinds: "arrive" carries a
         # request, "done" carries (replica_id, responses, slow flag),
-        # "recover" carries a replica id.
+        # "recover" carries a replica id, "control" carries a callback.
         events: List[Tuple[float, int, str, object]] = []
         seq = 0
         arrivals_pending = 0
+        # Control events go on the heap first so a delta and an arrival
+        # at the same instant resolve control-first — a query submitted
+        # "at" a delta's timestamp sees the post-delta world.
+        for at_s, callback in (control_events or ()):
+            heapq.heappush(events, (at_s, seq, "control", callback))
+            seq += 1
         for request in requests:
             heapq.heappush(events,
                            (request.submitted_s, seq, "arrive", request))
@@ -358,6 +381,8 @@ class Cluster:
                 crashed_at_s=last_crash_s[rid], recovered_at_s=now_s))
 
         def dispatch(request: InferenceRequest, now_s: float) -> None:
+            if bind_request is not None:
+                request = bind_request(request, now_s)
             alive_ids = health.alive_ids()
             if not alive_ids:
                 fail(request, "no-replicas-alive", now_s)
@@ -456,6 +481,8 @@ class Cluster:
             if kind == "arrive":
                 arrivals_pending -= 1
                 dispatch(payload, self.clock.now())
+            elif kind == "control":
+                payload(self.clock.now())
             elif kind == "recover":
                 recover_replica(payload, self.clock.now())
             else:

@@ -27,7 +27,8 @@ from repro.core.edge_drop import (
     drop_edges_by_importance,
     edge_importance,
 )
-from repro.core.incremental import IncrementalPath
+from repro.core.incremental import (DELTA_OPS, IncrementalPath,
+                                    RepairCostEstimate)
 from repro.core.batching import (
     batch_padding_waste,
     bucket_by_length,
@@ -77,7 +78,9 @@ __all__ = [
     "drop_edges",
     "drop_edges_by_importance",
     "edge_importance",
+    "DELTA_OPS",
     "IncrementalPath",
+    "RepairCostEstimate",
     "bucket_by_length",
     "random_batches",
     "padding_waste",

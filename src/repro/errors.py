@@ -71,6 +71,16 @@ class ClusterError(ServeError):
     """
 
 
+class StreamError(ServeError):
+    """Raised by the dynamic-graph streaming layer (``repro.stream``).
+
+    Covers unknown named graphs, malformed delta batches, invalid
+    repair policies, and divergence between a repaired schedule's edge
+    set and the applied graph — the invariant the versioned-key
+    invalidation protocol depends on.
+    """
+
+
 class QueueFullError(ServeError):
     """Admission rejected because the request queue is at capacity.
 

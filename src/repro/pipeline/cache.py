@@ -284,6 +284,28 @@ class ScheduleCache:
         if flush:
             self.flush()
 
+    def invalidate(self, key: str, flush: bool = True) -> bool:
+        """Evict one entry by key; True if anything was removed.
+
+        The keyed-eviction half of the streaming layer's versioned-key
+        protocol: when a graph's content key changes (an applied delta
+        bumped its epoch), the *old* key's entry is dead weight — it can
+        never be requested again, so it is removed eagerly instead of
+        aging out through the LRU cap.  Orphan payloads (on disk but not
+        indexed — a lost index, or litter from another process) are
+        unlinked too, so an invalidate is final either way.  Counted as
+        ``explicit_invalidations``, never as a miss.
+        """
+        indexed = key in self._index
+        orphan = not indexed and self.payload_path(key).exists()
+        if not indexed and not orphan:
+            return False
+        self._remove(key)
+        self.stats.explicit_invalidations += 1
+        if flush:
+            self.flush()
+        return True
+
     def _evict_over_cap(self) -> None:
         if self.max_bytes is None:
             return

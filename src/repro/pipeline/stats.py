@@ -26,6 +26,12 @@ class CacheStats:
         Entries that existed but were discarded — checksum mismatch,
         unreadable archive, or payload-version drift.  Each invalidation
         also counts as a miss (the schedule is recomputed).
+    explicit_invalidations:
+        Entries evicted through :meth:`~repro.pipeline.cache
+        .ScheduleCache.invalidate` — keyed eviction requested by a
+        caller (the streaming layer's versioned-key protocol), not
+        corruption.  Never counts as a miss: nobody asked to read the
+        entry.
     corrupt_checksum:
         Invalidations whose cause was a checksum mismatch against the
         index (bit rot, torn write under the real name).
@@ -44,6 +50,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    explicit_invalidations: int = 0
     corrupt_checksum: int = 0
     corrupt_payload: int = 0
     stale_tmp: int = 0
@@ -64,6 +71,8 @@ class CacheStats:
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             invalidations=self.invalidations + other.invalidations,
+            explicit_invalidations=(self.explicit_invalidations
+                                    + other.explicit_invalidations),
             corrupt_checksum=self.corrupt_checksum + other.corrupt_checksum,
             corrupt_payload=self.corrupt_payload + other.corrupt_payload,
             stale_tmp=self.stale_tmp + other.stale_tmp,
@@ -73,6 +82,7 @@ class CacheStats:
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "invalidations": self.invalidations,
+                "explicit_invalidations": self.explicit_invalidations,
                 "corrupt_checksum": self.corrupt_checksum,
                 "corrupt_payload": self.corrupt_payload,
                 "stale_tmp": self.stale_tmp,

@@ -12,8 +12,8 @@ rejection is observable in :class:`~repro.serve.stats.ServerStats`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,19 +29,29 @@ class InferenceRequest:
     ``attempt`` counts admission attempts (0 on first submission); the
     retry loop increments it on each re-submission so fault injection
     and stats can key on it.
+
+    Streaming requests additionally carry ``graph_name`` (the named
+    graph they query — ``graph`` is then the *bound* version) and
+    ``epoch`` (the named graph's monotone version the binding pinned).
+    Static workloads leave both at their defaults (``None`` / ``-1``)
+    and behave exactly as before.
     """
 
     request_id: int
     graph: Graph
     submitted_s: float = 0.0
     attempt: int = 0
+    graph_name: Optional[str] = None
+    epoch: int = -1
 
     def retry(self, at_s: float) -> "InferenceRequest":
-        """The re-submission of this request at simulated time ``at_s``."""
-        return InferenceRequest(request_id=self.request_id,
-                                graph=self.graph,
-                                submitted_s=at_s,
-                                attempt=self.attempt + 1)
+        """The re-submission of this request at simulated time ``at_s``.
+
+        Name and epoch travel with the retry; a streaming dispatcher
+        re-binds the graph (and may re-pin a newer epoch) on the next
+        arrival, since an unadmitted request holds no resolved state.
+        """
+        return replace(self, submitted_s=at_s, attempt=self.attempt + 1)
 
 
 @dataclass(frozen=True)
@@ -51,12 +61,20 @@ class QueuedRequest:
     ``path`` is the MEGA path representation resolved at admission time
     (from the schedule cache when the graph was seen before);
     ``schedule_hit`` records whether that lookup was a cache hit.
+    Resolution *is* the epoch pin: everything the executor needs is
+    attached here, so later deltas (and their cache invalidations)
+    cannot change what an in-flight request replays.
     """
 
     request: InferenceRequest
     admitted_s: float
     path: PathRepresentation
     schedule_hit: bool
+
+    @property
+    def epoch(self) -> int:
+        """The graph epoch pinned at admission (-1 for static graphs)."""
+        return self.request.epoch
 
     @property
     def length(self) -> int:
@@ -74,6 +92,8 @@ class InferenceResponse:
     completed_s: float
     batch_id: int
     schedule_hit: bool
+    #: Graph epoch the request was pinned to at admission (-1 static).
+    epoch: int = -1
 
     @property
     def latency_s(self) -> float:

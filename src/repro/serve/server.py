@@ -277,7 +277,8 @@ class ServerEngine:
             request_id=e.request.request_id,
             prediction=np.array(predictions[i], copy=True),
             submitted_s=e.request.submitted_s, completed_s=done_s,
-            batch_id=batch_id, schedule_hit=e.schedule_hit)
+            batch_id=batch_id, schedule_hit=e.schedule_hit,
+            epoch=e.epoch)
             for i, e in enumerate(plan.entries)]
         self.busy = True
         self.in_flight = plan.size

@@ -1,0 +1,148 @@
+"""Seeded mixed workloads: queries and edge-delta batches, one timeline.
+
+The streaming analogue of :mod:`repro.serve.loadgen`: one event stream
+in which each slot is either an inference query against a named graph
+or a :class:`~repro.stream.deltas.DeltaBatch` mutating one.  All
+randomness goes through :meth:`repro.resilience.FaultPlan.roll` — the
+same pure SHA-256 draw the rest of the repo uses — so the same seed
+yields the same queries, the same deltas, the same arrival instants,
+and therefore the same byte-identical :class:`~repro.stream.stats
+.StreamStats`.
+
+Delta ops are generated against the graphs' *initial* edge sets
+(captured once, at generation time): a generated delete may target an
+edge a previous delta already removed, and a generated insert may hit
+an edge that is already present.  That is deliberate — no-ops are part
+of the protocol contract, and a generator that tracked live membership
+would couple generation order to application order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StreamError
+from repro.resilience import FaultPlan
+from repro.serve.loadgen import ArrivalProcess
+from repro.serve.queueing import InferenceRequest
+from repro.stream.deltas import DeltaBatch, EdgeDelta, GraphTable
+
+
+@dataclass(frozen=True)
+class StreamMix:
+    """Composition of a mixed query/delta event stream.
+
+    Attributes
+    ----------
+    delta_fraction:
+        Probability an event slot is a delta batch (0 = queries only).
+    ops_per_delta:
+        Edge operations per generated batch.
+    delete_fraction:
+        Probability an op is a delete (drawn from the graph's initial
+        edge set) rather than an insert (fresh endpoint pair).
+    delta_names:
+        When set, deltas target only these named graphs — queries still
+        range over the whole table.  This is how the bench isolates
+        "untouched graph" cache behaviour: every name outside this
+        tuple must keep its hit rate.
+    seed:
+        Seed for every roll this mix makes (sites are disjoint from the
+        arrival process's, so the two seeds may coincide safely).
+    """
+
+    delta_fraction: float = 0.25
+    ops_per_delta: int = 4
+    delete_fraction: float = 0.25
+    delta_names: Optional[Tuple[str, ...]] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delta_fraction <= 1.0:
+            raise StreamError(
+                f"delta_fraction must be in [0, 1], "
+                f"got {self.delta_fraction}")
+        if self.ops_per_delta < 1:
+            raise StreamError(
+                f"ops_per_delta must be >= 1, got {self.ops_per_delta}")
+        if not 0.0 <= self.delete_fraction <= 1.0:
+            raise StreamError(
+                f"delete_fraction must be in [0, 1], "
+                f"got {self.delete_fraction}")
+        if self.delta_names is not None and not self.delta_names:
+            raise StreamError(
+                "delta_names must be None or a non-empty tuple")
+
+    def _roll(self, site: str, *coords) -> float:
+        return FaultPlan(seed=self.seed).roll(site, *coords)
+
+
+def _pick(names: List[str], u: float) -> str:
+    return names[min(int(u * len(names)), len(names) - 1)]
+
+
+def generate_stream(table: GraphTable, num_events: int,
+                    process: ArrivalProcess,
+                    mix: Optional[StreamMix] = None
+                    ) -> Tuple[List[InferenceRequest], List[DeltaBatch]]:
+    """One seeded timeline of queries and delta batches.
+
+    Event ``i`` happens at ``process.arrival_times(num_events)[i]`` and
+    is a delta with probability ``mix.delta_fraction``.  Queries carry
+    ``graph_name`` (the bound ``graph`` is the generation-time version;
+    the stream server re-binds at dispatch) and dense ``request_id``s;
+    batches carry dense ``delta_id``s.  Returns ``(requests, batches)``.
+    """
+    mix = mix or StreamMix()
+    if num_events < 0:
+        raise StreamError(
+            f"num_events must be >= 0, got {num_events}")
+    names = table.names()
+    delta_names = list(mix.delta_names) if mix.delta_names else names
+    for name in delta_names:
+        if name not in names:
+            raise StreamError(
+                f"delta_names entry {name!r} is not in the table; "
+                f"known: {names}")
+    initial_edges: Dict[str, List[Tuple[int, int]]] = {
+        name: sorted(table.graph(name).edge_set()) for name in delta_names}
+    times = process.arrival_times(num_events)
+    requests: List[InferenceRequest] = []
+    batches: List[DeltaBatch] = []
+    for i in range(num_events):
+        if mix._roll("stream-kind", i) < mix.delta_fraction:
+            name = _pick(delta_names, mix._roll("stream-graph", i))
+            graph = table.graph(name)
+            edges = initial_edges[name]
+            ops: List[EdgeDelta] = []
+            for j in range(mix.ops_per_delta):
+                is_delete = (edges
+                             and mix._roll("stream-op", i, j)
+                             < mix.delete_fraction)
+                if is_delete:
+                    pick = min(int(mix._roll("stream-edge", i, j)
+                                   * len(edges)), len(edges) - 1)
+                    u, v = edges[pick]
+                    ops.append(EdgeDelta("delete", u, v))
+                else:
+                    n = graph.num_nodes
+                    if n < 2:
+                        # Degenerate graph: a self-loop is the only
+                        # insertable edge.
+                        ops.append(EdgeDelta("insert", 0, 0))
+                        continue
+                    u = min(int(mix._roll("stream-u", i, j) * n), n - 1)
+                    # Offset draw keeps v != u without rejection loops.
+                    v = (u + 1 + min(int(mix._roll("stream-v", i, j)
+                                         * (n - 1)), n - 2)) % n
+                    ops.append(EdgeDelta("insert", u, v))
+            batches.append(DeltaBatch(
+                delta_id=len(batches), graph_name=name,
+                ops=tuple(ops), submitted_s=times[i]))
+        else:
+            name = _pick(names, mix._roll("stream-query", i))
+            requests.append(InferenceRequest(
+                request_id=len(requests), graph=table.graph(name),
+                submitted_s=times[i], graph_name=name))
+    return requests, batches

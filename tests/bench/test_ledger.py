@@ -65,7 +65,7 @@ class TestFiles:
         assert [ledger_filename(a) for a in AREAS] == [
             "BENCH_pipeline.json", "BENCH_serve.json",
             "BENCH_kernels.json", "BENCH_train.json",
-            "BENCH_cluster.json"]
+            "BENCH_cluster.json", "BENCH_stream.json"]
 
     def test_unknown_area_filename_rejected(self):
         with pytest.raises(BenchError):

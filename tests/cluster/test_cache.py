@@ -25,7 +25,9 @@ class TestTierStats:
         b = TierStats(l1_hits=10, l2_hits=0, misses=1, l2_puts=1)
         merged = a.merge(b)
         assert merged.as_dict() == {"l1_hits": 11, "l2_hits": 2,
-                                    "misses": 4, "l2_puts": 4}
+                                    "misses": 4, "l2_puts": 4,
+                                    "l1_invalidations": 0,
+                                    "l2_invalidations": 0, "seeds": 0}
 
 
 class TestTieredResolve:
@@ -35,7 +37,9 @@ class TestTieredResolve:
         path, hit = view.resolve(pool[0])
         assert not hit
         assert view.tier.as_dict() == {"l1_hits": 0, "l2_hits": 0,
-                                       "misses": 1, "l2_puts": 1}
+                                       "misses": 1, "l2_puts": 1,
+                                       "l1_invalidations": 0,
+                                       "l2_invalidations": 0, "seeds": 0}
         # Serve-compatible CacheStats moved in lockstep.
         assert view.stats.misses == 1 and view.stats.puts == 1
 
@@ -66,7 +70,9 @@ class TestTieredResolve:
         a.resolve(pool[0])          # L1 hit
         b.resolve(pool[0])          # L2 hit
         assert tiered.tier.as_dict() == {"l1_hits": 1, "l2_hits": 1,
-                                         "misses": 1, "l2_puts": 1}
+                                         "misses": 1, "l2_puts": 1,
+                                         "l1_invalidations": 0,
+                                         "l2_invalidations": 0, "seeds": 0}
         merged = a.tier.merge(b.tier)
         assert merged.as_dict() == tiered.tier.as_dict()
 

@@ -62,11 +62,15 @@ class TestInsert:
         assert tracker.patches == 1
         assert tracker.coverage == 1.0
 
-    def test_duplicate_insert_rejected(self, inc):
+    def test_duplicate_insert_is_counted_noop(self, inc):
         tracker, g = inc
         s, d = int(g.src[0]), int(g.dst[0])
-        with pytest.raises(GraphError):
-            tracker.insert(s, d)
+        edges_before = len(tracker._edges)
+        work_before = tracker.work_units
+        assert tracker.insert(s, d) is True
+        assert tracker.noop_inserts == 1
+        assert len(tracker._edges) == edges_before
+        assert tracker.work_units == work_before
 
     def test_out_of_range_rejected(self, inc):
         tracker, _ = inc
@@ -107,6 +111,113 @@ class TestRemove:
         tracker.remove(s, d)
         tracker.insert(s, d)
         assert tracker.coverage == 1.0
+
+
+class TestStreamingEdgeCases:
+    """The delta shapes the streaming layer replays at-least-once."""
+
+    def test_insert_touching_isolated_vertex(self):
+        # Vertex 4 starts with no incident edges (and no path
+        # appearance); inserting toward it must patch, not crash.
+        g = from_edge_list([(0, 1), (1, 2)], num_nodes=5)
+        tracker = IncrementalPath(g, MegaConfig(window=2),
+                                  rebuild_expansion=10.0)
+        adopted = tracker.insert(0, 4)
+        assert not adopted
+        assert (0, 4) in tracker._edges
+        assert tracker.coverage == 1.0
+        rep = tracker.to_representation()
+        assert rep.coverage == 1.0
+
+    def test_delete_last_edge_leaves_empty_band(self):
+        g = from_edge_list([(0, 1)], num_nodes=2)
+        tracker = IncrementalPath(g, MegaConfig(window=1))
+        assert tracker.remove(0, 1) is True
+        assert tracker.edge_set() == set()
+        assert tracker.coverage == 1.0   # vacuously: nothing to cover
+        rep = tracker.to_representation()
+        assert rep.graph.num_edges == 0
+
+    def test_repeated_delta_is_idempotent(self, inc):
+        tracker, g = inc
+        s, d = int(g.src[0]), int(g.dst[0])
+        tracker.remove(s, d)
+        # At-least-once replay: the same delete arrives again.
+        assert tracker.remove(s, d, missing_ok=True) is False
+        assert tracker.noop_deletes == 1
+        edges_after_first = set(tracker.edge_set())
+        tracker.insert(s, d)
+        assert tracker.insert(s, d) is True
+        assert tracker.noop_inserts == 1
+        assert tracker.edge_set() == edges_after_first | {(min(s, d),
+                                                           max(s, d))}
+
+    def test_strict_remove_still_raises_without_missing_ok(self, inc):
+        tracker, _ = inc
+        with pytest.raises(GraphError):
+            tracker.remove(0, 0)
+
+
+class TestRepairCostEstimate:
+    def test_estimate_does_not_mutate(self, inc):
+        tracker, g = inc
+        edges_before = set(tracker.edge_set())
+        work_before = tracker.work_units
+        est = tracker.repair_cost_estimate(
+            [("delete", int(g.src[0]), int(g.dst[0])),
+             ("insert", 0, 0)])
+        assert est.deletes == 1
+        assert tracker.edge_set() == edges_before
+        assert tracker.work_units == work_before
+
+    def test_duplicate_insert_priced_as_noop(self, inc):
+        tracker, g = inc
+        s, d = int(g.src[0]), int(g.dst[0])
+        est = tracker.repair_cost_estimate([("insert", s, d)])
+        assert est.noops == 1 and est.inserts == 0
+        assert est.repair_cost == 0
+
+    def test_small_batch_beats_rebuild(self):
+        g = ring_graph(40)
+        tracker = IncrementalPath(g, MegaConfig(window=2),
+                                  rebuild_expansion=10.0)
+        est = tracker.repair_cost_estimate([("insert", 0, 2)])
+        assert est.ratio < 1.0
+        assert est.repair_cost < est.rebuild_cost
+        assert not est.triggers_rebuild
+
+    def test_rebuild_overflow_included_in_cost(self):
+        g = from_edge_list([(i, i + 1) for i in range(9)])
+        tracker = IncrementalPath(g, MegaConfig(window=1),
+                                  rebuild_expansion=1.05)
+        est = tracker.repair_cost_estimate(
+            [("insert", 0, 9), ("insert", 1, 8), ("insert", 2, 7)])
+        assert est.triggers_rebuild
+        assert est.repair_cost >= est.rebuild_cost
+        assert est.ratio >= 1.0
+
+    def test_unknown_op_rejected(self, inc):
+        tracker, _ = inc
+        with pytest.raises(GraphError):
+            tracker.repair_cost_estimate([("upsert", 0, 1)])
+
+    def test_estimate_tracks_actual_patch_work(self):
+        # For a pure-patch batch the metered work equals the estimate's
+        # probe units; the estimate is conservative by pricing appended
+        # patch positions on top.
+        g = from_edge_list([(i, i + 1) for i in range(9)])
+        tracker = IncrementalPath(g, MegaConfig(window=1),
+                                  rebuild_expansion=10.0)
+        ops = [("insert", 0, 9), ("insert", 1, 7)]
+        est = tracker.repair_cost_estimate(ops)
+        work_before = tracker.work_units
+        length_before = tracker.length
+        for op, u, v in ops:
+            tracker.insert(u, v)
+        assert tracker.work_units - work_before == est.probe_units
+        assert tracker.length - length_before == est.patch_units
+        assert est.repair_cost == est.probe_units + est.patch_units
+        assert tracker.length == est.projected_length
 
 
 class TestMaterialisation:

@@ -25,6 +25,8 @@ ARG_EXAMPLES = [
                              "--recover-after", "0.03",
                              "--slow-replica", "2",
                              "--slow-factor", "4.0"]),
+    ("streaming_updates.py", ["--events", "32", "--scale", "0.004",
+                              "--delta-fraction", "0.3"]),
 ]
 
 

@@ -95,6 +95,24 @@ class TestConfig:
         # And the registered module actually exists on disk.
         assert (REPO_ROOT / "src/repro/cluster/health.py").is_file()
 
+    def test_stream_module_registered_in_repo_config(self):
+        # Sync test for the streaming subsystem: repro.stream sits in
+        # the ordered top band between repro.cluster and repro.bench
+        # (serve < cluster < stream < bench), its delta application and
+        # schedule repair feed the cache keys, and StreamStats.as_dict
+        # is a byte-identical replay surface.  All three registrations
+        # must name it so the config cannot drift away from the code.
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert "repro.stream" in config.top_layers
+        assert (config.top_layers.index("repro.cluster")
+                < config.top_layers.index("repro.stream")
+                < config.top_layers.index("repro.bench"))
+        assert "repro.stream" in config.determinism_modules
+        assert "repro.stream.stats" in config.ledger_modules
+        # And the registered package actually exists on disk.
+        assert (REPO_ROOT / "src/repro/stream/__init__.py").is_file()
+        assert (REPO_ROOT / "src/repro/stream/stats.py").is_file()
+
     def test_kebab_keys_map_to_fields(self):
         config = config_from_table({"docstring-min-length": 25,
                                     "print-allowed": ["repro.cli",

@@ -144,6 +144,68 @@ class TestCorruption:
         assert cache.stats.misses == 1
 
 
+class TestInvalidate:
+    def test_invalidate_removes_entry_and_counts(self, tmp_path, graphs):
+        config = MegaConfig()
+        cache = ScheduleCache(tmp_path)
+        key = schedule_cache_key(graphs[0], config)
+        cache.put(key, *compute_schedule(graphs[0], config))
+        assert cache.invalidate(key) is True
+        assert key not in cache
+        assert not cache.payload_path(key).exists()
+        assert cache.stats.explicit_invalidations == 1
+        # An explicit invalidation is not a corruption invalidation.
+        assert cache.stats.invalidations == 0
+        assert cache.get(key) is None
+
+    def test_invalidate_missing_key_is_false(self, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        assert cache.invalidate("0" * 64) is False
+        assert cache.stats.explicit_invalidations == 0
+
+    def test_invalidate_unlinks_orphan_payload(self, tmp_path, graphs):
+        # Payload on disk, index lost: invalidate must still be final.
+        config = MegaConfig()
+        key = schedule_cache_key(graphs[0], config)
+        ScheduleCache(tmp_path).put(key, *compute_schedule(graphs[0],
+                                                           config))
+        (tmp_path / "index.json").unlink()
+        reopened = ScheduleCache(tmp_path)
+        assert reopened.invalidate(key) is True
+        assert not reopened.payload_path(key).exists()
+        assert reopened.get(key) is None  # cannot be re-adopted
+
+    def test_invalidate_only_touches_named_key(self, tmp_path, graphs):
+        config = MegaConfig()
+        cache = ScheduleCache(tmp_path)
+        keys = []
+        for g in graphs[:3]:
+            key = schedule_cache_key(g, config)
+            cache.put(key, *compute_schedule(g, config))
+            keys.append(key)
+        cache.invalidate(keys[0])
+        for survivor in keys[1:]:
+            assert cache.get(survivor) is not None
+        assert cache.stats.explicit_invalidations == 1
+
+    def test_invalidate_survives_restart(self, tmp_path, graphs):
+        config = MegaConfig()
+        key = schedule_cache_key(graphs[0], config)
+        cache = ScheduleCache(tmp_path)
+        cache.put(key, *compute_schedule(graphs[0], config))
+        cache.invalidate(key)
+        assert ScheduleCache(tmp_path).get(key) is None
+
+    def test_invalidate_of_corrupt_entry_is_safe(self, tmp_path, graphs):
+        config = MegaConfig()
+        cache = ScheduleCache(tmp_path)
+        key = schedule_cache_key(graphs[0], config)
+        cache.put(key, *compute_schedule(graphs[0], config))
+        cache.payload_path(key).write_bytes(b"\x00garbage")
+        assert cache.invalidate(key) is True
+        assert not cache.payload_path(key).exists()
+
+
 class TestLRU:
     def test_size_cap_evicts_least_recently_used(self, tmp_path, graphs):
         config = MegaConfig()

@@ -1,0 +1,72 @@
+"""Shared fixtures for the streaming tests.
+
+Same recipe as the cluster suite (one small ZINC slice, one small
+model per session) plus factories for stream servers and seeded mixed
+event streams.
+"""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.train.trainer import build_model
+
+SCALE = 0.004
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return load_dataset("ZINC", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def model(dataset):
+    model = build_model("GCN", dataset, hidden_dim=16, num_layers=2,
+                        seed=0)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def pool(dataset):
+    graphs = dataset.test[:6]
+    assert len(graphs) == 6
+    return graphs
+
+
+@pytest.fixture
+def make_server(model, pool):
+    """Factory for fresh stream servers around the shared model."""
+    from repro.cluster import ClusterConfig
+    from repro.serve import BatchingPolicy, ServerConfig
+    from repro.stream import RepairPolicy, StreamServer
+
+    def _make(num_graphs=4, replicas=3, fault_plan=None, cache=None,
+              recompute_ratio=1.0, mega_config=None, **config_kwargs):
+        graphs = {f"g{i}": pool[i] for i in range(num_graphs)}
+        config = ClusterConfig(
+            num_replicas=replicas, policy="hash-affinity",
+            server=ServerConfig(
+                queue_capacity=16,
+                policy=BatchingPolicy(max_batch_size=8)),
+            **config_kwargs)
+        return StreamServer(
+            model, graphs, config, mega_config=mega_config,
+            repair_policy=RepairPolicy(recompute_ratio=recompute_ratio),
+            cache=cache, fault_plan=fault_plan)
+
+    return _make
+
+
+@pytest.fixture
+def make_events():
+    """Seeded mixed query/delta streams over a server's graph table."""
+    from repro.serve import ArrivalProcess
+    from repro.stream import StreamMix, generate_stream
+
+    def _make(table, num=48, seed=0, rate_rps=400.0, **mix_kwargs):
+        process = ArrivalProcess(kind="poisson", rate_rps=rate_rps,
+                                 seed=seed)
+        return generate_stream(table, num, process,
+                               StreamMix(seed=seed, **mix_kwargs))
+
+    return _make

@@ -1,0 +1,146 @@
+"""Delta protocol: op validation, pure COO rewrite, epoch table."""
+
+import numpy as np
+import pytest
+
+from repro.core import MegaConfig
+from repro.errors import StreamError
+from repro.graph.graph import from_edge_list
+from repro.stream import (DeltaBatch, EdgeDelta, GraphTable,
+                          apply_delta_ops)
+
+
+class TestEdgeDelta:
+    def test_key_is_canonical(self):
+        assert EdgeDelta("insert", 5, 2).key == (2, 5)
+        assert EdgeDelta("delete", 2, 5).key == (2, 5)
+
+    def test_as_tuple_round_trip(self):
+        assert EdgeDelta("insert", 1, 2).as_tuple() == ("insert", 1, 2)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeDelta("upsert", 0, 1)
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeDelta("insert", -1, 2)
+
+
+class TestDeltaBatch:
+    def test_empty_ops_rejected(self):
+        with pytest.raises(StreamError):
+            DeltaBatch(0, "g0", ops=())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(StreamError):
+            DeltaBatch(0, "", ops=(EdgeDelta("insert", 0, 1),))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(StreamError):
+            DeltaBatch(0, "g0", ops=(EdgeDelta("insert", 0, 1),),
+                       submitted_s=-0.1)
+
+    def test_op_tuples_preserve_order(self):
+        batch = DeltaBatch(0, "g0", ops=(EdgeDelta("delete", 0, 1),
+                                         EdgeDelta("insert", 2, 3)))
+        assert batch.op_tuples() == [("delete", 0, 1), ("insert", 2, 3)]
+
+
+class TestApplyDeltaOps:
+    def _graph(self):
+        return from_edge_list([(0, 1), (1, 2), (2, 3)], num_nodes=5)
+
+    def test_insert_appends_in_first_insert_order(self):
+        out = apply_delta_ops(self._graph(),
+                              [EdgeDelta("insert", 3, 4),
+                               EdgeDelta("insert", 0, 4)])
+        assert out.edge_set() == {(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)}
+        # Originals keep their order; inserts appended after them.
+        assert list(zip(out.src.tolist(), out.dst.tolist()))[:3] == \
+            [(0, 1), (1, 2), (2, 3)]
+        assert list(zip(out.src.tolist(), out.dst.tolist()))[3:] == \
+            [(3, 4), (0, 4)]
+
+    def test_delete_removes_record(self):
+        out = apply_delta_ops(self._graph(), [EdgeDelta("delete", 2, 1)])
+        assert out.edge_set() == {(0, 1), (2, 3)}
+        assert out.num_edges == 2
+
+    def test_duplicate_insert_is_noop(self):
+        out = apply_delta_ops(self._graph(), [EdgeDelta("insert", 0, 1)])
+        assert out.edge_set() == self._graph().edge_set()
+        assert out.num_edges == 3
+
+    def test_delete_of_absent_edge_is_noop(self):
+        out = apply_delta_ops(self._graph(), [EdgeDelta("delete", 0, 4)])
+        assert out.edge_set() == self._graph().edge_set()
+
+    def test_delete_cancels_pending_insert(self):
+        out = apply_delta_ops(self._graph(),
+                              [EdgeDelta("insert", 3, 4),
+                               EdgeDelta("delete", 3, 4)])
+        assert out.edge_set() == self._graph().edge_set()
+
+    def test_batch_application_is_idempotent(self):
+        ops = [EdgeDelta("insert", 3, 4), EdgeDelta("delete", 0, 1)]
+        once = apply_delta_ops(self._graph(), ops)
+        twice = apply_delta_ops(once, ops)
+        assert once.edge_set() == twice.edge_set()
+        np.testing.assert_array_equal(once.src, twice.src)
+        np.testing.assert_array_equal(once.dst, twice.dst)
+
+    def test_edge_features_follow_records(self):
+        g = from_edge_list([(0, 1), (1, 2)], num_nodes=4,
+                           edge_features=np.asarray([[1.0], [2.0]]))
+        out = apply_delta_ops(g, [EdgeDelta("delete", 0, 1),
+                                  EdgeDelta("insert", 2, 3)])
+        # Surviving row keeps its features; the insert gets a zero row.
+        np.testing.assert_array_equal(out.edge_features,
+                                      np.asarray([[2.0], [0.0]]))
+        assert out.num_edges == 2
+
+    def test_original_graph_untouched(self):
+        g = self._graph()
+        before = g.edge_set()
+        apply_delta_ops(g, [EdgeDelta("delete", 0, 1)])
+        assert g.edge_set() == before
+
+
+class TestGraphTable:
+    def _table(self):
+        return GraphTable({"b": from_edge_list([(0, 1)], num_nodes=3),
+                           "a": from_edge_list([(1, 2)], num_nodes=3)},
+                          MegaConfig())
+
+    def test_names_sorted(self):
+        assert self._table().names() == ["a", "b"]
+
+    def test_initial_epoch_zero(self):
+        table = self._table()
+        assert table.epochs() == {"a": 0, "b": 0}
+
+    def test_advance_bumps_epoch_and_key(self):
+        table = self._table()
+        old = table.key("a")
+        graph = apply_delta_ops(table.graph("a"),
+                                [EdgeDelta("insert", 0, 2)])
+        old_key, new_key, epoch = table.advance("a", graph)
+        assert old_key == old and new_key != old_key
+        assert epoch == 1 and table.epoch("a") == 1
+        assert table.key("a") == new_key
+        # Untouched name unchanged.
+        assert table.epoch("b") == 0
+
+    def test_noop_advance_keeps_key(self):
+        table = self._table()
+        old_key, new_key, epoch = table.advance("a", table.graph("a"))
+        assert old_key == new_key and epoch == 1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(StreamError):
+            self._table().graph("zz")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(StreamError):
+            GraphTable({})

@@ -1,0 +1,103 @@
+"""Seeded mixed workload generation: determinism, composition, bounds."""
+
+import pytest
+
+from repro.core import MegaConfig
+from repro.errors import StreamError
+from repro.graph.generators import ring_graph
+from repro.graph.graph import from_edge_list
+from repro.serve import ArrivalProcess
+from repro.stream import GraphTable, StreamMix, generate_stream
+
+
+def _table(num=3, nodes=8):
+    return GraphTable({f"g{i}": ring_graph(nodes + i)
+                       for i in range(num)}, MegaConfig())
+
+
+def _process(seed=0):
+    return ArrivalProcess(kind="poisson", rate_rps=400.0, seed=seed)
+
+
+class TestStreamMix:
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(StreamError):
+            StreamMix(delta_fraction=1.5)
+        with pytest.raises(StreamError):
+            StreamMix(delete_fraction=-0.1)
+        with pytest.raises(StreamError):
+            StreamMix(ops_per_delta=0)
+        with pytest.raises(StreamError):
+            StreamMix(delta_names=())
+
+
+class TestGenerateStream:
+    def test_same_seed_same_stream(self):
+        table = _table()
+        streams = [generate_stream(table, 40, _process(),
+                                   StreamMix(seed=7)) for _ in range(2)]
+        (req_a, bat_a), (req_b, bat_b) = streams
+        assert [(r.request_id, r.graph_name, r.submitted_s)
+                for r in req_a] == \
+            [(r.request_id, r.graph_name, r.submitted_s) for r in req_b]
+        assert [(b.delta_id, b.graph_name, b.submitted_s,
+                 tuple(b.op_tuples())) for b in bat_a] == \
+            [(b.delta_id, b.graph_name, b.submitted_s,
+              tuple(b.op_tuples())) for b in bat_b]
+
+    def test_ids_are_dense(self):
+        requests, batches = generate_stream(_table(), 60, _process(),
+                                            StreamMix(seed=1))
+        assert [r.request_id for r in requests] == \
+            list(range(len(requests)))
+        assert [b.delta_id for b in batches] == list(range(len(batches)))
+        assert len(requests) + len(batches) == 60
+
+    def test_zero_fraction_is_queries_only(self):
+        requests, batches = generate_stream(
+            _table(), 30, _process(), StreamMix(delta_fraction=0.0))
+        assert len(requests) == 30 and not batches
+
+    def test_full_fraction_is_deltas_only(self):
+        requests, batches = generate_stream(
+            _table(), 30, _process(),
+            StreamMix(delta_fraction=1.0, ops_per_delta=2))
+        assert len(batches) == 30 and not requests
+        assert all(len(b.ops) == 2 for b in batches)
+
+    def test_delta_names_restrict_targets(self):
+        table = _table(4)
+        _, batches = generate_stream(
+            table, 80, _process(),
+            StreamMix(delta_fraction=0.5, delta_names=("g1", "g2")))
+        assert batches
+        assert {b.graph_name for b in batches} <= {"g1", "g2"}
+
+    def test_unknown_delta_name_rejected(self):
+        with pytest.raises(StreamError):
+            generate_stream(_table(), 10, _process(),
+                            StreamMix(delta_names=("zz",)))
+
+    def test_negative_event_count_rejected(self):
+        with pytest.raises(StreamError):
+            generate_stream(_table(), -1, _process())
+
+    def test_inserts_valid_on_tiny_graph(self):
+        # Single-node graph: the only insertable edge is a self-loop.
+        table = GraphTable({"t": from_edge_list([], num_nodes=1)},
+                           MegaConfig())
+        _, batches = generate_stream(
+            table, 12, _process(),
+            StreamMix(delta_fraction=1.0, delete_fraction=0.0))
+        for batch in batches:
+            for op in batch.ops:
+                assert (op.u, op.v) == (0, 0)
+
+    def test_ops_within_graph_bounds(self):
+        table = _table()
+        _, batches = generate_stream(
+            table, 60, _process(), StreamMix(delta_fraction=0.6, seed=3))
+        for batch in batches:
+            n = table.graph(batch.graph_name).num_nodes
+            for op in batch.ops:
+                assert 0 <= op.u < n and 0 <= op.v < n

@@ -37,14 +37,15 @@ class LintConfig:
     #: anything below plus earlier top layers, while nothing below (or
     #: earlier) imports it.
     top_layers: List[str] = field(default_factory=lambda: [
-        "repro.serve", "repro.cluster", "repro.bench"])
+        "repro.serve", "repro.cluster", "repro.stream",
+        "repro.bench"])
 
     #: MEGA002: modules whose ordered outputs feed schedule/cache keys,
     #: so set-iteration-order must never leak into them.
     determinism_modules: List[str] = field(default_factory=lambda: [
         "repro.core", "repro.graph", "repro.pipeline",
         "repro.resilience", "repro.serve", "repro.cluster",
-        "repro.bench"])
+        "repro.stream", "repro.bench"])
 
     #: MEGA003: modules declared as vectorised kernels.
     kernel_modules: List[str] = field(default_factory=lambda: [
@@ -62,7 +63,7 @@ class LintConfig:
     #: build byte-identical replay/ledger surfaces.
     ledger_modules: List[str] = field(default_factory=lambda: [
         "repro.bench", "repro.serve.stats", "repro.cluster.stats",
-        "repro.pipeline.stats"])
+        "repro.pipeline.stats", "repro.stream.stats"])
 
     #: MEGA007: a module docstring shorter than this is a placeholder.
     docstring_min_length: int = 10
